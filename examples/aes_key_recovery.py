@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""§5.1 demo: recover AES key nibbles with one attacker thread.
+
+Runs the full first-round attack against a random T-table AES-128 key:
+five victim invocations with attacker-chosen random plaintexts, a
+Flush+Reload trace per invocation, and a majority vote across traces.
+Prints a Fig 5.1-style heatmap of the first trace and the recovered
+upper nibbles next to the ground truth.
+
+Run:  python examples/aes_key_recovery.py [seed]
+"""
+
+import sys
+
+from repro.analysis.aes_recovery import render_heatmap
+from repro.attacks.aes_first_round import run_aes_attack
+from repro.sim.rng import RngStreams
+
+
+def main(seed: int = 7) -> None:
+    key = RngStreams(seed=seed).randbytes("demo-key", 16)
+    print(f"victim key (hidden from the attacker): {key.hex()}")
+    print("running 5 victim invocations under Controlled Preemption...")
+    result = run_aes_attack(key, n_traces=5, seed=seed)
+
+    print()
+    print("Fig 5.1-style heatmap (T0, first trace; '#' = reload hit):")
+    print(render_heatmap(result.traces[0].samples, table=0, max_cols=100))
+    print()
+    truth = [k >> 4 for k in key]
+    recovered = result.recovered_nibbles
+    print("key byte      :", " ".join(f"{i:2d}" for i in range(16)))
+    print("true nibble   :", " ".join(f"{t:2x}" for t in truth))
+    print("recovered     :", " ".join(
+        f"{r:2x}" if r is not None else " ?" for r in recovered))
+    marks = [" ✓" if r == t else " ✗" for r, t in zip(recovered, truth)]
+    print("              :", " ".join(marks))
+    print()
+    print(f"upper-nibble accuracy: {result.accuracy:.1%} "
+          f"(paper: 98.9 % over 100 keys on CFS)")
+    print("prior work needed 40 colocated threads for this; "
+          "Controlled Preemption used 1.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

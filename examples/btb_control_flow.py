@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""§5.3 demo: reading enclave control flow through the BTB.
+
+The victim runs mbedTLS's binary GCD — the loop whose per-iteration
+``TA >= TB`` branch direction leaks the RSA key being generated.  The
+attacker plants BunnyHop-style Train+Probe gadgets that collide (in the
+BTB's 32-bit index) with one instruction inside each branch direction's
+block; a victim iteration invalidates exactly one of them, and a timed
+load of a prefetch marker reads the verdict.
+
+Run:  python examples/btb_control_flow.py [seed]
+"""
+
+import sys
+
+from repro.attacks.btb_gcd import random_prime_pairs, run_btb_gcd_attack
+
+
+def main(seed: int = 4) -> None:
+    (p, q), = random_prime_pairs(1, seed=seed)
+    print(f"victim: mbedtls_mpi_gcd({p}, {q}) inside SGX "
+          "(as during RSA key generation)")
+    result = run_btb_gcd_attack(p, q, seed=seed)
+
+    def fmt(bits):
+        return "".join(
+            "I" if b else ("E" if b is False else "?") for b in bits
+        )
+
+    print()
+    print(f"true branch directions ({result.iterations} iterations):")
+    print(f"   {fmt(result.true_branches)}")
+    print(f"recovered from one victim run:")
+    print(f"   {fmt(result.recovered)}")
+    print()
+    print(f"branch accuracy: {result.accuracy:.1%} "
+          f"(paper: 97.3 % over 30 prime pairs)")
+    print("I = the (TA >= TB) 'if' block ran; E = the 'else' block.")
+    print("the channel is the BTB — no cache line of the victim was "
+          "inspected, and the BTB is core-private, immune to cross-core "
+          "noise (§4.3).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Export the raw data behind every figure to plain text files.
+
+Writes one whitespace-separated data file per figure under
+``figures/`` so the plots can be regenerated with any tool (gnuplot,
+matplotlib, pgfplots).  Sample counts follow REPRO_SCALE.
+
+Run:  python examples/export_figure_data.py [output_dir]
+"""
+
+import os
+import sys
+from collections import Counter
+
+from repro.experiments.preemption_count import figure_4_4, figure_4_5
+from repro.experiments.resolution import figure_4_3, figure_4_7
+from repro.experiments.noise import run_noise_experiment
+from repro.experiments.setup import scaled
+
+
+def write(path, header, rows):
+    with open(path, "w") as handle:
+        handle.write(f"# {header}\n")
+        for row in rows:
+            handle.write(" ".join(str(v) for v in row) + "\n")
+    print(f"wrote {path} ({len(rows)} rows)")
+
+
+def export_fig_4_3(outdir):
+    panels = figure_4_3(preemptions_per_tau=scaled(80_000, minimum=300),
+                        seed=1)
+    for name, runs in panels.items():
+        rows = []
+        for run in runs:
+            for value, count in sorted(Counter(run.samples).items()):
+                rows.append((run.tau, value, count))
+        write(os.path.join(outdir, f"fig_4_3{name}.dat"),
+              "tau_ns instructions_retired count", rows)
+
+
+def export_fig_4_4(outdir):
+    runs = figure_4_4(repeats=3, seed=1)
+    rows = [(r.drift_ns, r.preemptions, r.expected) for r in runs]
+    write(os.path.join(outdir, "fig_4_4.dat"),
+          "ia_minus_iv_ns preemptions expected", rows)
+
+
+def export_fig_4_5(outdir):
+    runs = figure_4_5(repeats=2, seed=1)
+    rows = [(r.victim_nice, r.preemptions) for r in runs]
+    write(os.path.join(outdir, "fig_4_5.dat"),
+          "victim_nice preemptions", rows)
+
+
+def export_fig_4_6(outdir):
+    run = run_noise_experiment(rounds=scaled(4000, minimum=800), seed=1)
+    rows = []
+    for name, series in run.vruntime_series.items():
+        for time, vruntime in series:
+            rows.append((name, f"{time:.0f}", f"{vruntime:.0f}"))
+    write(os.path.join(outdir, "fig_4_6.dat"),
+          f"thread time_ns vruntime_ns (convergence at "
+          f"{run.convergence_time:.0f})", rows)
+
+
+def export_fig_4_7(outdir):
+    runs = figure_4_7(preemptions_per_tau=scaled(80_000, minimum=300), seed=1)
+    rows = []
+    for run in runs:
+        for value, count in sorted(Counter(run.samples).items()):
+            rows.append((run.tau, value, count))
+    write(os.path.join(outdir, "fig_4_7.dat"),
+          "tau_ns instructions_retired count", rows)
+
+
+def main(outdir="figures"):
+    os.makedirs(outdir, exist_ok=True)
+    export_fig_4_3(outdir)
+    export_fig_4_4(outdir)
+    export_fig_4_5(outdir)
+    export_fig_4_6(outdir)
+    export_fig_4_7(outdir)
+    print("done.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

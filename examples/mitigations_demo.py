@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""§6 demo: what the defences do to the primitive.
+
+Runs the same Controlled Preemption characterization under the
+baseline configuration and each mitigation:
+
+* NO_WAKEUP_PREEMPTION (the Linux security team's recommendation),
+* a Xen-style minimum scheduling interval before wakeup preemption,
+* SGX with and without AEX-Notify's guaranteed-progress handler.
+
+Run:  python examples/mitigations_demo.py
+"""
+
+from repro.experiments.mitigations import evaluate_mitigations
+
+
+def main() -> None:
+    print("evaluating §6 mitigations (400 attack rounds each)...\n")
+    results = evaluate_mitigations(rounds=400, seed=1)
+    header = (f"{'configuration':<22} {'wakeup preemptions':>18} "
+              f"{'median insts/preempt':>21} {'single-step':>12}")
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        median = (f"{r.median_instructions_per_preemption:,.0f}"
+                  if r.median_instructions_per_preemption ==
+                  r.median_instructions_per_preemption else "n/a")
+        print(f"{r.name:<22} {r.consecutive_preemptions:>18} "
+              f"{median:>21} {r.single_step_fraction:>11.0%}")
+    print()
+    print("reading the table:")
+    print(" - the baseline single-steps the victim hundreds of times;")
+    print(" - NO_WAKEUP_PREEMPTION removes Eq 2.2: zero wakeup "
+          "preemptions, the victim runs multi-millisecond slices;")
+    print(" - a minimum scheduling interval throttles the preemption "
+          "rate to one per interval;")
+    print(" - AEX-Notify keeps the attack alive but destroys "
+          "single-stepping — the enclave always makes tens of "
+          "instructions of progress per resume (§6 notes 50–100 "
+          "instructions is still enough for some attacks, e.g. §5.1).")
+
+
+if __name__ == "__main__":
+    main()

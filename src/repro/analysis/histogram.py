@@ -1,0 +1,82 @@
+"""Temporal-resolution statistics (Figs 4.3 and 4.7).
+
+Input is the list of victim-instructions-retired-per-preemption samples
+produced by :meth:`repro.kernel.tracing.KernelTracer.retired_per_preemption`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class ResolutionStats:
+    """Summary of one resolution histogram."""
+
+    n: int
+    zero_fraction: float
+    single_fraction: float
+    under_10_fraction: float  # nonzero and < 10
+    median: float
+    p90: float
+    mean: float
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n} zero={self.zero_fraction:.1%} "
+            f"single={self.single_fraction:.1%} "
+            f"1-9={self.under_10_fraction:.1%} median={self.median:.0f} "
+            f"p90={self.p90:.0f}"
+        )
+
+
+def resolution_stats(samples: Sequence[int]) -> ResolutionStats:
+    if not samples:
+        raise ValueError("no samples")
+    counts = Counter(samples)
+    n = len(samples)
+    ordered = sorted(samples)
+    return ResolutionStats(
+        n=n,
+        zero_fraction=counts.get(0, 0) / n,
+        single_fraction=counts.get(1, 0) / n,
+        under_10_fraction=sum(v for k, v in counts.items() if 0 < k < 10) / n,
+        median=float(statistics.median(samples)),
+        p90=float(ordered[min(n - 1, int(0.9 * n))]),
+        mean=float(statistics.mean(samples)),
+    )
+
+
+def histogram(samples: Sequence[int], *, bins: Sequence[int] = ()) -> Dict[str, int]:
+    """Bucketed histogram; default buckets follow the paper's figures
+    (0, 1, 2–9, 10–31, 32–99, 100+)."""
+    if not bins:
+        bins = (1, 2, 10, 32, 100)
+    labels: List[str] = []
+    edges = [0, *bins]
+    for lo, hi in zip(edges, edges[1:]):
+        labels.append(str(lo) if hi == lo + 1 else f"{lo}-{hi - 1}")
+    labels.append(f"{edges[-1]}+")
+    result = {label: 0 for label in labels}
+    for sample in samples:
+        for (lo, hi), label in zip(zip(edges, edges[1:]), labels):
+            if lo <= sample < hi:
+                result[label] += 1
+                break
+        else:
+            result[labels[-1]] += 1
+    return result
+
+
+def ascii_histogram(samples: Sequence[int], *, width: int = 50) -> str:
+    """Terminal rendering of the bucketed histogram."""
+    buckets = histogram(samples)
+    top = max(buckets.values()) or 1
+    lines = []
+    for label, count in buckets.items():
+        bar = "#" * max(1 if count else 0, round(width * count / top))
+        lines.append(f"{label:>8} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Trace scoring and stitching (§5.2, §5.3).
+
+The SGX base64 attack recovers a prefix of the per-character LUT-line
+trace in each victim run; :func:`concatenate_traces` implements the
+paper's two-run protocol (first run covers the head, a delayed second
+run covers the tail).  Scoring helpers compute the coverage/accuracy
+numbers the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def coverage(recovered: Sequence[Optional[int]], truth: Sequence[int]) -> float:
+    """Fraction of positions recovered (non-None), relative to truth."""
+    if not truth:
+        raise ValueError("empty ground truth")
+    usable = min(len(recovered), len(truth))
+    observed = sum(1 for v in recovered[:usable] if v is not None)
+    return observed / len(truth)
+
+
+def binary_trace_accuracy(
+    recovered: Sequence[Optional[int]], truth: Sequence[int]
+) -> float:
+    """Accuracy over the *recovered* positions (paper's metric: of the
+    trace portion captured, how much is correct)."""
+    pairs = [
+        (r, t)
+        for r, t in zip(recovered, truth)
+        if r is not None
+    ]
+    if not pairs:
+        return 0.0
+    return sum(1 for r, t in pairs if r == t) / len(pairs)
+
+
+def branch_trace_accuracy(
+    recovered: Sequence[Optional[bool]], truth: Sequence[bool]
+) -> float:
+    """Branch-direction accuracy over all iterations (missing = wrong,
+    matching §5.3's 'extract all branch directions' framing)."""
+    if not truth:
+        raise ValueError("empty ground truth")
+    correct = sum(
+        1
+        for i, direction in enumerate(truth)
+        if i < len(recovered) and recovered[i] == direction
+    )
+    return correct / len(truth)
+
+
+def concatenate_traces(
+    first_half: Sequence[Optional[int]],
+    second_half: Sequence[Optional[int]],
+    total_length: int,
+) -> List[Optional[int]]:
+    """Stitch two partial traces of the same secret (§5.2).
+
+    ``first_half`` was captured from the start of run 1;
+    ``second_half`` from a delayed attack in run 2, aligned so that its
+    captured positions land in the tail.  The first run's data wins
+    where both observed a position.
+    """
+    result: List[Optional[int]] = [None] * total_length
+    for i, value in enumerate(second_half[:total_length]):
+        if value is not None:
+            result[i] = value
+    for i, value in enumerate(first_half[:total_length]):
+        if value is not None:
+            result[i] = value
+    return result
+
+
+def longest_observed_prefix(recovered: Sequence[Optional[int]]) -> int:
+    """Length of the contiguous observed prefix."""
+    for i, value in enumerate(recovered):
+        if value is None:
+            return i
+    return len(recovered)

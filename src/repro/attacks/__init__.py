@@ -1,0 +1,27 @@
+"""The paper's three proof-of-concept exploits (§5).
+
+* :mod:`repro.attacks.aes_first_round` — §5.1: Flush+Reload first-round
+  attack on T-table AES, one attacker thread instead of prior work's 40.
+* :mod:`repro.attacks.sgx_base64` — §5.2: SGX-Step-like LLC Prime+Probe
+  attack on OpenSSL's base64 PEM decoding, from userspace.
+* :mod:`repro.attacks.btb_gcd` — §5.3: BTB Train+Probe recovery of
+  mbedTLS GCD branch directions (NightVision from userspace).
+"""
+
+from repro.attacks.aes_first_round import (
+    AesAttackResult,
+    run_aes_attack,
+    run_aes_accuracy_experiment,
+)
+from repro.attacks.btb_gcd import BtbAttackResult, run_btb_gcd_attack
+from repro.attacks.sgx_base64 import SgxAttackResult, run_sgx_base64_attack
+
+__all__ = [
+    "AesAttackResult",
+    "run_aes_attack",
+    "run_aes_accuracy_experiment",
+    "BtbAttackResult",
+    "run_btb_gcd_attack",
+    "SgxAttackResult",
+    "run_sgx_base64_attack",
+]

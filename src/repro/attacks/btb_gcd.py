@@ -1,0 +1,180 @@
+"""§5.3: recovering mbedTLS GCD branch directions via the BTB.
+
+NightVision's observation — non-control-transfer instructions
+invalidate colliding BTB entries — is combined with Controlled
+Preemption to read the victim's control flow once per loop iteration,
+from userspace, using BunnyHop-style Train+Probe gadgets to encode the
+predictor state into cache timing (privileged PMU decoding is not
+available to our attacker).
+
+Per round the attacker probes both gadgets (one colliding with an
+instruction inside the `if` block, one inside the `else` block),
+re-trains them, and primes the LLC set of the GCD loop head — the
+§5.2 stall trick, reused to hold the victim to ~one iteration per
+preemption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.traces import branch_trace_accuracy
+from repro.attacks.common import (
+    TAIL_TEXT_BASE,
+    launch_synchronized_attack,
+    run_to_completion,
+)
+from repro.channels.btb_channel import DualBtbProbe
+from repro.channels.prime_probe import PrimeProbeSet
+from repro.channels.seek import PrimeProbeSeeker
+from repro.core.degradation import CodeLineStaller, CompositeDegrader
+from repro.core.primitive import ControlledPreemption, PreemptionConfig
+from repro.sim.rng import RngStreams
+from repro.uarch.cache import HierarchyGeometry
+from repro.victims.gcd import (
+    GCD_BRANCH_PC,
+    GCD_ELSE_BLOCK_PC,
+    GCD_IF_BLOCK_PC,
+    GCD_LOOP_PC,
+    build_gcd_program,
+)
+from repro.victims.layout import ATTACKER_LLC_ARENA
+from repro.victims.rsa import generate_prime
+from repro.victims.sgx import make_enclave_task
+
+#: τ for the SGX GCD victim; slightly tighter than the §5.2 attack so
+#: the stepping window stays inside the stalled portion of an iteration.
+BTB_TAU_NS = 2_720.0
+
+
+@dataclass
+class BtbAttackResult:
+    a: int
+    b: int
+    true_branches: List[bool]
+    recovered: List[Optional[bool]]
+    accuracy: float
+
+    @property
+    def iterations(self) -> int:
+        return len(self.true_branches)
+
+
+def run_btb_gcd_attack(
+    a: int,
+    b: int,
+    *,
+    seed: int = 0,
+    scheduler: str = "cfs",
+    rounds: int = 400,
+    polluter: bool = False,
+) -> BtbAttackResult:
+    """Recover all branch directions of one GCD run (single victim run).
+
+    ``polluter`` adds a cross-core cache-noise thread (§4.3): the BTB is
+    core-private, so the attack's accuracy must not be affected."""
+    env = None
+    if polluter:
+        from repro.experiments.channel_noise import spawn_polluter
+        from repro.experiments.setup import build_env
+
+        env = build_env(scheduler, n_cores=2, seed=seed)
+        spawn_polluter(env.kernel, cpu=1, rng=env.rng)
+    info = build_gcd_program(a, b)
+    probe = DualBtbProbe(info.if_probe_pc, info.else_probe_pc)
+    llc = HierarchyGeometry().llc
+    seeker = PrimeProbeSeeker(
+        PrimeProbeSet.for_target(
+            llc, "seek", TAIL_TEXT_BASE, ATTACKER_LLC_ARENA + 0xC0_0000
+        )
+    )
+    attacker = ControlledPreemption(
+        PreemptionConfig(
+            nap_ns=BTB_TAU_NS,
+            rounds=rounds,
+            hibernate_ns=100e6,
+            stop_on_exhaustion=True,
+            seek_tau_ns=3_000.0,
+        ),
+        measurer=probe,
+        seeker=seeker,
+    )
+    victim = make_enclave_task("victim", info.program)
+    run = launch_synchronized_attack(
+        attacker,
+        info.program,
+        scheduler=scheduler,
+        seed=seed,
+        victim_task=victim,
+        env=env,
+    )
+    # §5.2-style stalling, applied to the whole loop body: evicting the
+    # head, branch and both block lines makes every iteration pay
+    # several DRAM fills, so one nap window can never span two
+    # iterations (which would merge two branch observations).
+    geometry = run.env.machine.config.geometry.llc
+    attacker.degrader = CompositeDegrader(
+        CodeLineStaller(geometry, GCD_LOOP_PC, ATTACKER_LLC_ARENA),
+        CodeLineStaller(geometry, GCD_BRANCH_PC, ATTACKER_LLC_ARENA + 0x10_0000),
+        CodeLineStaller(geometry, GCD_IF_BLOCK_PC, ATTACKER_LLC_ARENA + 0x20_0000),
+        CodeLineStaller(geometry, GCD_ELSE_BLOCK_PC, ATTACKER_LLC_ARENA + 0x30_0000),
+    )
+    run_to_completion(run, max_ns=60e9)
+    recovered: List[Optional[bool]] = []
+    # Round 0's probe predates any training: discard it.
+    for sample in attacker.useful_samples[1:]:
+        if sample.data is None:
+            continue
+        if_fired, else_fired = sample.data
+        if if_fired and else_fired:
+            # Two iterations slipped into one nap; directions observed
+            # but their order is not (rare — emit if-then-else).
+            recovered.extend([True, False])
+        elif if_fired:
+            recovered.append(True)
+        elif else_fired:
+            recovered.append(False)
+    truth = info.trace.branches
+    return BtbAttackResult(
+        a=a,
+        b=b,
+        true_branches=truth,
+        recovered=recovered,
+        accuracy=branch_trace_accuracy(recovered, truth),
+    )
+
+
+def random_prime_pairs(
+    n_pairs: int,
+    *,
+    seed: int = 0,
+    min_iterations: int = 20,
+    max_iterations: int = 30,
+) -> Iterator[Tuple[int, int]]:
+    """Prime pairs whose GCD loop runs 20–30 iterations (as in §5.3)."""
+    from repro.victims.gcd import binary_gcd_trace
+
+    rng = RngStreams(seed=seed).stream("primes")
+    produced = 0
+    while produced < n_pairs:
+        p = generate_prime(24, rng)
+        q = generate_prime(24, rng)
+        if p == q:
+            continue
+        iterations = binary_gcd_trace(p, q).iterations
+        if min_iterations <= iterations <= max_iterations:
+            produced += 1
+            yield p, q
+
+
+def run_btb_accuracy_experiment(
+    *, n_pairs: int = 30, seed: int = 0, scheduler: str = "cfs"
+) -> List[BtbAttackResult]:
+    """§5.3's statistic: 30 prime pairs, single-run branch recovery."""
+    results = []
+    for index, (p, q) in enumerate(random_prime_pairs(n_pairs, seed=seed)):
+        results.append(
+            run_btb_gcd_attack(p, q, seed=seed + index * 101, scheduler=scheduler)
+        )
+    return results

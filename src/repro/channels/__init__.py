@@ -1,0 +1,20 @@
+"""Side-channel receivers.
+
+Every receiver exposes a ``measure()`` generator (yielding kernel
+actions, returning the round's decoded sample) so it can plug directly
+into :class:`repro.core.primitive.ControlledPreemption` — Controlled
+Preemption is channel-agnostic, and this uniform interface is how the
+paper frames that property.
+"""
+
+from repro.channels.btb_channel import BtbTrainProbe, BtbGadgetLayout
+from repro.channels.flush_reload import FlushReload
+from repro.channels.prime_probe import PrimeProbe, PrimeProbeSet
+
+__all__ = [
+    "BtbTrainProbe",
+    "BtbGadgetLayout",
+    "FlushReload",
+    "PrimeProbe",
+    "PrimeProbeSet",
+]

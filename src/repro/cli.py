@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users one-line access to the paper's experiments
+without writing harness code:
+
+    python -m repro resolution --tau 740 --degrade
+    python -m repro budget --extra 12000 --scheduler eevdf
+    python -m repro aes --keys 5
+    python -m repro sgx
+    python -m repro btb --pairs 5
+    python -m repro colocation
+    python -m repro mitigations
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+from typing import List, Optional
+
+
+def _cmd_resolution(args: argparse.Namespace) -> None:
+    from repro.analysis.histogram import ascii_histogram
+    from repro.experiments.resolution import run_resolution
+
+    run = run_resolution(
+        args.tau,
+        degrade_itlb=args.degrade,
+        scheduler=args.scheduler,
+        preemptions=args.preemptions,
+        seed=args.seed,
+    )
+    print(f"τ = {args.tau:.0f} ns on {args.scheduler}"
+          + (" + iTLB eviction" if args.degrade else ""))
+    print(ascii_histogram(run.samples))
+    print(run.stats.describe())
+
+
+def _cmd_budget(args: argparse.Namespace) -> None:
+    from repro.experiments.preemption_count import run_budget_measurement
+
+    run = run_budget_measurement(
+        extra_compute_ns=args.extra,
+        scheduler=args.scheduler,
+        victim_nice=args.nice,
+        seed=args.seed,
+    )
+    print(f"I_attacker − I_victim ≈ {run.drift_ns / 1000:.1f} µs "
+          f"(victim nice {args.nice}, {args.scheduler})")
+    print(f"consecutive preemptions: {run.preemptions} "
+          f"(model: {run.expected:.0f})")
+
+
+def _cmd_aes(args: argparse.Namespace) -> None:
+    from repro.attacks.aes_first_round import run_aes_accuracy_experiment
+
+    result = run_aes_accuracy_experiment(
+        n_keys=args.keys, n_traces=args.traces,
+        scheduler=args.scheduler, seed=args.seed,
+    )
+    print(f"AES first-round attack, {args.keys} keys × {args.traces} traces "
+          f"({args.scheduler}):")
+    print(f"mean upper-nibble accuracy: {result.mean_accuracy:.1%} "
+          f"(paper: 98.9 % CFS / 98.1 % EEVDF)")
+
+
+def _cmd_sgx(args: argparse.Namespace) -> None:
+    from repro.attacks.sgx_base64 import run_sgx_base64_attack
+    from repro.victims.rsa import generate_rsa_key, pem_base64_body
+
+    key = generate_rsa_key(1024, rng=random.Random(args.seed))
+    body = pem_base64_body(key)
+    result = run_sgx_base64_attack(body, seed=args.seed)
+    print(f"SGX base64 attack on a fresh RSA-1024 PEM "
+          f"({result.char_count} chars):")
+    print(f"single run : {result.single_run_coverage:6.1%} coverage, "
+          f"{result.single_run_accuracy:6.2%} accuracy "
+          f"(paper: 61.5 % @ 99.2 %)")
+    print(f"two runs   : {result.stitched_coverage:6.1%} coverage, "
+          f"{result.stitched_accuracy:6.2%} accuracy "
+          f"(paper: 100 % @ 98.9 %)")
+
+
+def _cmd_btb(args: argparse.Namespace) -> None:
+    from repro.attacks.btb_gcd import run_btb_accuracy_experiment
+
+    results = run_btb_accuracy_experiment(n_pairs=args.pairs, seed=args.seed)
+    mean = statistics.mean(r.accuracy for r in results)
+    for r in results:
+        print(f"gcd({r.a}, {r.b}): {r.iterations} iterations, "
+              f"{r.accuracy:.1%} branch accuracy")
+    print(f"mean accuracy over {args.pairs} pairs: {mean:.1%} "
+          f"(paper: 97.3 %)")
+
+
+def _cmd_colocation(args: argparse.Namespace) -> None:
+    from repro.experiments.colocation import run_colocation
+
+    outcome = run_colocation(n_cores=args.cores, seed=args.seed)
+    print(f"{args.cores}-core machine, {args.cores - 1} pinned dummies:")
+    print(f"victim landed on cpu{outcome.landed_cpu} "
+          f"(target cpu{outcome.target_cpu}) — "
+          f"{'colocated' if outcome.colocated else 'missed'}")
+    print(f"preemptions on the shared core: {outcome.preemptions_on_target}")
+
+
+def _cmd_mitigations(args: argparse.Namespace) -> None:
+    from repro.experiments.mitigations import evaluate_mitigations
+
+    for r in evaluate_mitigations(rounds=args.rounds, seed=args.seed):
+        print(f"{r.name:<22} preemptions={r.consecutive_preemptions:<6} "
+              f"median insts/preempt="
+              f"{r.median_instructions_per_preemption:,.0f}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Controlled Preemption (ASPLOS 2025) reproduction",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("resolution", help="Fig 4.3/4.7 histogram cell")
+    p.add_argument("--tau", type=float, default=740.0)
+    p.add_argument("--degrade", action="store_true",
+                   help="evict the victim's iTLB entry each round")
+    p.add_argument("--scheduler", choices=("cfs", "eevdf"), default="cfs")
+    p.add_argument("--preemptions", type=int, default=1000)
+    p.set_defaults(func=_cmd_resolution)
+
+    p = sub.add_parser("budget", help="Fig 4.4/4.5 preemption count")
+    p.add_argument("--extra", type=float, default=12_000.0,
+                   help="attacker measurement padding (ns)")
+    p.add_argument("--nice", type=int, default=0, help="victim nice value")
+    p.add_argument("--scheduler", choices=("cfs", "eevdf"), default="cfs")
+    p.set_defaults(func=_cmd_budget)
+
+    p = sub.add_parser("aes", help="§5.1 AES first-round attack")
+    p.add_argument("--keys", type=int, default=5)
+    p.add_argument("--traces", type=int, default=5)
+    p.add_argument("--scheduler", choices=("cfs", "eevdf"), default="cfs")
+    p.set_defaults(func=_cmd_aes)
+
+    p = sub.add_parser("sgx", help="§5.2 SGX base64 PEM attack")
+    p.set_defaults(func=_cmd_sgx)
+
+    p = sub.add_parser("btb", help="§5.3 BTB control-flow attack")
+    p.add_argument("--pairs", type=int, default=5)
+    p.set_defaults(func=_cmd_btb)
+
+    p = sub.add_parser("colocation", help="§4.4 colocation technique")
+    p.add_argument("--cores", type=int, default=16)
+    p.set_defaults(func=_cmd_colocation)
+
+    p = sub.add_parser("mitigations", help="§6 defence ablation")
+    p.add_argument("--rounds", type=int, default=400)
+    p.set_defaults(func=_cmd_mitigations)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Controlled Preemption — the paper's primary contribution.
+
+This package contains the attacker-side framework:
+
+* :mod:`repro.core.budget` — the preemption-budget arithmetic of §4.1.
+* :mod:`repro.core.wakeup` — the two controlled wake-up methods of §4.2
+  (nanosleep and POSIX timer + signal).
+* :mod:`repro.core.primitive` — the :class:`ControlledPreemption`
+  attacker: hibernate, then repeatedly measure → degrade → nap.
+* :mod:`repro.core.degradation` — §4.3 performance degradation (iTLB/
+  STLB eviction, LLC code-line stalling).
+* :mod:`repro.core.oracle` — zero-step filtering and the "victim ran
+  last?" presence oracle for noisy runqueues.
+* :mod:`repro.core.colocation` — §4.4 core colocation via the load
+  balancer.
+* :mod:`repro.core.multithread` — the §4.3 round-robin multi-thread
+  extension for an effectively unbounded budget.
+"""
+
+from repro.core.budget import eevdf_expected_preemptions, expected_preemptions
+from repro.core.colocation import ColocationResult, achieve_colocation
+from repro.core.degradation import CodeLineStaller, TlbEvictor
+from repro.core.multithread import RoundRobinAttack
+from repro.core.oracle import VictimPresenceOracle, ZeroStepFilter
+from repro.core.primitive import (
+    ControlledPreemption,
+    PreemptionConfig,
+    Sample,
+)
+from repro.core.wakeup import WakeupMethod
+
+__all__ = [
+    "eevdf_expected_preemptions",
+    "expected_preemptions",
+    "ColocationResult",
+    "achieve_colocation",
+    "CodeLineStaller",
+    "TlbEvictor",
+    "RoundRobinAttack",
+    "VictimPresenceOracle",
+    "ZeroStepFilter",
+    "ControlledPreemption",
+    "PreemptionConfig",
+    "Sample",
+    "WakeupMethod",
+]

@@ -1,0 +1,56 @@
+"""Preemption-budget arithmetic (§4.1 and §4.5).
+
+Under the CFS, a hibernated attacker wakes ``S_slack`` behind the
+victim's vruntime and can preempt while the gap exceeds ``S_preempt``.
+Each round the gap shrinks by ``I_attacker − I_victim``, giving the
+paper's expected count
+
+    ⌈ (S_slack − S_preempt) / (I_attacker − I_victim) ⌉.
+
+Under EEVDF the wake-up deficit is one weighted base slice and
+preemption lasts while the attacker's vruntime trails the victim's, so
+the same formula applies with the budget replaced by the base slice.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sched.params import SchedParams
+
+
+def expected_preemptions(
+    params: SchedParams, i_attacker: float, i_victim: float
+) -> int:
+    """Expected consecutive CFS preemptions (paper §4.1).
+
+    ``i_attacker``/``i_victim`` are the per-round vruntime increments in
+    nanoseconds.  Requires ``i_attacker > i_victim`` — otherwise the
+    gap never shrinks and the count is unbounded (returns a sentinel).
+    """
+    drift = i_attacker - i_victim
+    if drift <= 0:
+        return math.inf  # type: ignore[return-value]
+    return math.ceil(params.preemption_budget / drift)
+
+
+def eevdf_expected_preemptions(
+    params: SchedParams, i_attacker: float, i_victim: float, *, weight_ratio: float = 1.0
+) -> int:
+    """Expected consecutive EEVDF preemptions (§4.5 model).
+
+    The budget is the wake-up vruntime deficit, one base slice scaled by
+    the attacker's weight (``weight_ratio`` = NICE_0_LOAD / weight; 1.0
+    at nice 0).
+    """
+    drift = i_attacker - i_victim
+    if drift <= 0:
+        return math.inf  # type: ignore[return-value]
+    budget = params.base_slice * weight_ratio
+    return math.ceil(budget / drift)
+
+
+def max_attacker_time(params: SchedParams) -> float:
+    """Upper bound on I_attacker for repeated preemption to be possible
+    at all (§4.1: I_attacker < S_slack − S_preempt)."""
+    return float(params.preemption_budget)

@@ -1,0 +1,87 @@
+"""Core colocation without pinning privileges (§4.4).
+
+The attacker cannot ``sched_setaffinity`` the victim, but it *can* pin
+its own threads.  The technique:
+
+1. spawn N−1 compute-bound dummy threads and pin one to each of N−1
+   logical cores, leaving exactly one core ``C`` idle;
+2. invoke the victim — the scheduler's idlest-CPU placement puts it on
+   ``C``;
+3. pin the attacker thread to ``C``.
+
+The victim then stays put: periodic load balancing finds no idle core
+to migrate it to (every other core is occupied by a pinned dummy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.threads import ComputeBody
+from repro.sched.task import Task
+
+
+@dataclass
+class ColocationResult:
+    """Outcome of the colocation procedure."""
+
+    target_cpu: int
+    victim: Task
+    dummies: List[Task]
+    success: bool
+
+    @property
+    def n_attacker_threads(self) -> int:
+        """Total attacker threads used: N−1 dummies + 1 measurement
+        thread (the paper's footprint accounting)."""
+        return len(self.dummies) + 1
+
+
+def launch_dummies(
+    kernel: Kernel, *, leave_idle: int, name_prefix: str = "dummy"
+) -> List[Task]:
+    """Spawn and pin one compute-bound dummy on every core except
+    ``leave_idle``."""
+    dummies: List[Task] = []
+    for cpu in range(kernel.machine.n_cores):
+        if cpu == leave_idle:
+            continue
+        dummy = Task(f"{name_prefix}{cpu}", body=ComputeBody())
+        dummy.pin_to(cpu)
+        kernel.spawn(dummy, cpu=cpu)
+        dummies.append(dummy)
+    return dummies
+
+
+def achieve_colocation(
+    kernel: Kernel,
+    victim_factory: Callable[[], Task],
+    *,
+    target_cpu: Optional[int] = None,
+    settle_ns: float = 10_000_000.0,
+) -> ColocationResult:
+    """Run the full §4.4 procedure and report where the victim landed.
+
+    ``victim_factory`` builds the (unpinned) victim task; it is spawned
+    through the kernel's normal placement path — *not* pinned — so the
+    experiment genuinely exercises the load-balancer exploit.
+    """
+    n = kernel.machine.n_cores
+    if n < 2:
+        raise ValueError("colocation needs a multicore machine")
+    if target_cpu is None:
+        target_cpu = n - 1
+    dummies = launch_dummies(kernel, leave_idle=target_cpu)
+    # Let the dummies actually occupy their cores before inviting the
+    # victim in, as the real attack does.
+    kernel.run_until(max_time=kernel.now + settle_ns)
+    victim = victim_factory()
+    if victim.allowed_cpus is not None:
+        raise ValueError("the victim must not be pinned (threat model)")
+    kernel.spawn(victim)
+    success = victim.cpu == target_cpu
+    return ColocationResult(
+        target_cpu=target_cpu, victim=victim, dummies=dummies, success=success
+    )

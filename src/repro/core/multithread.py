@@ -1,0 +1,160 @@
+"""Round-robin multi-thread budget extension (§4.3).
+
+A single attacker thread is limited to ⌈budget/(Ia−Iv)⌉ preemptions.
+Borrowing the multi-thread idea from prior work — but needing only as
+many threads as budget *refills*, not one per preemption — the attacker
+launches n well-slept threads A1…An.  A1 preempts until its budget is
+nearly spent, then **signals A2 and hibernates**; A2 takes over with a
+fresh budget (its long sleep re-arms the Eq 2.1 placement credit), and
+so on.  Because each thread sleeps while its siblings work, rotating
+through the ring yields an effectively infinite budget.
+
+Two hand-off mechanisms are provided:
+
+* ``handoff="signal"`` (default) — the active thread sends a wake-up
+  signal to the next one the moment its own exhaustion is detected
+  (the paper's "the attacker wakes up A2").
+* ``handoff="timed"`` — each thread's hibernation is pre-sized from the
+  budget arithmetic; no inter-thread communication at all (the approach
+  of the prior-work espionage networks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from repro.core.primitive import ControlledPreemption, PreemptionConfig, Sample
+from repro.kernel import actions as act
+from repro.kernel.kernel import Kernel
+
+
+@dataclass
+class RoundRobinConfig:
+    """Per-thread preemption config plus the rotation plan."""
+
+    base: PreemptionConfig
+    n_threads: int
+    rounds_per_thread: int
+    #: "signal": explicit wake-up hand-off; "timed": pre-sized sleeps.
+    handoff: str = "signal"
+    #: Estimated wall time one thread spends on its share (timed mode).
+    per_thread_ns: Optional[float] = None
+
+    def slot_duration(self) -> float:
+        if self.per_thread_ns is not None:
+            return self.per_thread_ns
+        per_round = self.base.nap_ns + self.base.gap_floor_ns
+        return self.rounds_per_thread * per_round
+
+
+class _RingAttacker(ControlledPreemption):
+    """A Controlled Preemption thread that wakes its ring successor."""
+
+    def __init__(self, config: PreemptionConfig, ring_index: int, **kwargs):
+        self.ring_index = ring_index
+        self.successor_pid: Optional[int] = None
+        super().__init__(config, **kwargs)
+
+    def _body(self) -> Iterator[act.Action]:
+        cfg = self.config
+        if cfg.method.needs_timer_slack:
+            yield act.SetTimerSlack(cfg.timer_slack_ns)
+        if self.ring_index == 0:
+            yield act.Nanosleep(cfg.hibernate_ns)
+        else:
+            # Sleep long enough to bank the full budget, then wait for
+            # the predecessor's signal.
+            yield act.Nanosleep(cfg.hibernate_ns)
+            yield act.Pause()
+        prev_wake: Optional[float] = None
+        round_trip = cfg.nap_ns + cfg.gap_floor_ns
+        for index in range(cfg.rounds):
+            now = yield act.GetTime()
+            gap = (now - prev_wake) if prev_wake is not None else cfg.nap_ns
+            prev_wake = now
+            data = None
+            if self.measurer is not None:
+                data = yield from self.measurer.measure()
+            if self.degrader is not None:
+                yield from self.degrader.degrade()
+            if cfg.extra_compute_ns > 0:
+                yield act.Compute(cfg.extra_compute_ns)
+            exhausted = index > 0 and gap > max(
+                cfg.gap_factor * round_trip, cfg.gap_floor_ns
+            )
+            sample = Sample(index, now, gap, data, exhausted)
+            self.samples.append(sample)
+            if self.on_sample is not None:
+                self.on_sample(sample)
+            if exhausted and self.exhausted_at is None:
+                self.exhausted_at = index
+                break
+            yield act.Nanosleep(cfg.nap_ns)
+        if self.successor_pid is not None:
+            yield act.SignalTask(self.successor_pid)
+        yield act.Exit()
+
+
+class RoundRobinAttack:
+    """n Controlled-Preemption threads rotating through the budget."""
+
+    def __init__(
+        self,
+        config: RoundRobinConfig,
+        *,
+        measurer_factory=None,
+        degrader: Any = None,
+    ):
+        self.config = config
+        self.attackers: List[ControlledPreemption] = []
+        for i in range(config.n_threads):
+            thread_cfg = PreemptionConfig(
+                nap_ns=config.base.nap_ns,
+                rounds=config.rounds_per_thread,
+                hibernate_ns=self._hibernate_for(i),
+                method=config.base.method,
+                timer_slack_ns=config.base.timer_slack_ns,
+                extra_compute_ns=config.base.extra_compute_ns,
+                gap_factor=config.base.gap_factor,
+                gap_floor_ns=config.base.gap_floor_ns,
+                stop_on_exhaustion=True,
+            )
+            measurer = measurer_factory() if measurer_factory else None
+            if config.handoff == "signal":
+                attacker: ControlledPreemption = _RingAttacker(
+                    thread_cfg, i, measurer=measurer, degrader=degrader,
+                    name=f"attacker{i}",
+                )
+            else:
+                attacker = ControlledPreemption(
+                    thread_cfg, measurer=measurer, degrader=degrader,
+                    name=f"attacker{i}",
+                )
+            self.attackers.append(attacker)
+        if config.handoff == "signal":
+            for current, successor in zip(self.attackers,
+                                          self.attackers[1:]):
+                current.successor_pid = successor.task.pid  # type: ignore
+
+    def _hibernate_for(self, index: int) -> float:
+        if self.config.handoff == "signal":
+            return self.config.base.hibernate_ns
+        return self.config.base.hibernate_ns + index * self.config.slot_duration()
+
+    def launch(self, kernel: Kernel, cpu: int) -> None:
+        for attacker in self.attackers:
+            attacker.launch(kernel, cpu)
+
+    @property
+    def samples(self) -> List[Sample]:
+        """All threads' samples merged in time order."""
+        merged: List[Sample] = []
+        for attacker in self.attackers:
+            merged.extend(attacker.useful_samples)
+        merged.sort(key=lambda s: s.time)
+        return merged
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(len(a.useful_samples) for a in self.attackers)

@@ -1,0 +1,89 @@
+"""Sample-filtering oracles (§4.2 zero steps, §4.3 scheduling noise).
+
+Zero steps are benign but must be dropped from the data: the victim
+made no progress, so the channel state still reflects the *previous*
+round.  :class:`ZeroStepFilter` drops samples whose payload shows no
+victim activity.
+
+In a noisy runqueue — scheduling pattern ``((V|N)A)+`` after the victim
+and noise vruntimes converge — the attacker must also know *who ran
+last*.  :class:`VictimPresenceOracle` implements the template-attack
+oracle of §4.3: it monitors cache lines known (from offline profiling)
+to be touched by the victim's code and reports whether the victim
+executed during the nap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence
+
+from repro.kernel import actions as act
+from repro.uarch.timing import LATENCY
+
+
+class ZeroStepFilter:
+    """Drop samples in which no monitored line was touched.
+
+    Works on any payload that is a sequence of hit booleans (the
+    Flush+Reload result format) or has a truthy ``any_activity``.
+    """
+
+    @staticmethod
+    def is_zero_step(data: Any) -> bool:
+        if data is None:
+            return True
+        if hasattr(data, "any_activity"):
+            return not data.any_activity
+        if isinstance(data, (list, tuple)):
+            return not any(data)
+        return False
+
+    @classmethod
+    def filter(cls, payloads: Sequence[Any]) -> List[Any]:
+        return [d for d in payloads if not cls.is_zero_step(d)]
+
+
+class VictimPresenceOracle:
+    """"Victim ran last?" template oracle (§4.3).
+
+    ``template_lines`` are addresses of cache lines on the victim's
+    instruction path (pre-computed at cache-line granularity from a
+    profiling run).  ``measure()`` reloads them: any hit means the
+    victim executed since the attacker last flushed; the lines are then
+    flushed to re-arm the oracle.  Intended to be composed with a real
+    measurer — record the round's data only when the oracle is true.
+    """
+
+    def __init__(self, template_lines: Sequence[int], threshold: Optional[float] = None):
+        if not template_lines:
+            raise ValueError("need at least one template line")
+        self.template_lines = list(template_lines)
+        self.threshold = threshold if threshold is not None else LATENCY.hit_threshold()
+
+    def measure(self) -> Iterator[act.Action]:
+        present = False
+        for addr in self.template_lines:
+            latency = yield act.TimedLoad(addr)
+            if latency < self.threshold:
+                present = True
+        for addr in self.template_lines:
+            yield act.Flush(addr)
+        return present
+
+
+class OracleGatedMeasurer:
+    """Compose a presence oracle with a payload measurer.
+
+    The oracle runs first; the payload is recorded as ``(present,
+    data)`` so analysis can keep only rounds where the victim ran last
+    — the §4.3 recipe for surviving the ``((V|N)A)+`` regime.
+    """
+
+    def __init__(self, oracle: VictimPresenceOracle, measurer: Any):
+        self.oracle = oracle
+        self.measurer = measurer
+
+    def measure(self) -> Iterator[act.Action]:
+        data = yield from self.measurer.measure()
+        present = yield from self.oracle.measure()
+        return (present, data)

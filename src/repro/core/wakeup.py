@@ -1,0 +1,25 @@
+"""Controlled wake-up methods (§4.2, Fig 4.2).
+
+Method 1 (``NANOSLEEP``) blocks in ``nanosleep(τ)`` each round after
+shrinking the timer slack to 1 ns with ``prctl(PR_SET_TIMERSLACK)``.
+
+Method 2 (``TIMER``) creates one periodic POSIX timer with period τ and
+blocks in ``pause()``; each expiry delivers a signal whose handler is
+the measurement routine.  No slack adjustment is needed — the kernel
+handles the timer interrupt immediately and only the *handler* is
+subject to the Eq 2.2 preemption check.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class WakeupMethod(enum.Enum):
+    NANOSLEEP = "nanosleep"  # Method 1
+    TIMER = "timer"  # Method 2
+
+    @property
+    def needs_timer_slack(self) -> bool:
+        """Only nanosleep needs PR_SET_TIMERSLACK (see module docs)."""
+        return self is WakeupMethod.NANOSLEEP

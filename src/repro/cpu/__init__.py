@@ -1,0 +1,24 @@
+"""CPU layer: a tiny ISA, victim programs and the simulated machine.
+
+Victim code is represented as *instruction traces* — sequences of
+:class:`~repro.cpu.isa.Instruction` records produced by faithfully
+executing the real algorithm (AES, base64 decode, GCD) in Python.  The
+trace is then replayed instruction-by-instruction through a core's
+microarchitectural state, which is what gives every side channel its
+signal.  This mirrors the paper exactly: leakage is a property of the
+dynamic instruction stream, not of how the stream was produced.
+"""
+
+from repro.cpu.isa import Instruction, InstrKind
+from repro.cpu.machine import Machine, MachineConfig
+from repro.cpu.program import Program, StraightlineProgram, TraceProgram
+
+__all__ = [
+    "Instruction",
+    "InstrKind",
+    "Machine",
+    "MachineConfig",
+    "Program",
+    "StraightlineProgram",
+    "TraceProgram",
+]

@@ -1,0 +1,279 @@
+"""Logical core: executes instructions against microarchitectural state.
+
+The core charges each retired instruction a cycle cost assembled from
+
+* the fetch path — iTLB translation (only when the PC crosses into a
+  new page) and an I-cache line fill (only when the PC crosses into a
+  new line or the line is not resident),
+* BTB prediction — a valid colliding entry triggers a target-line
+  prefetch (the §5.3 channel) and a misprediction penalty when the
+  prediction disagrees with the actual next PC,
+* the execute path — D-TLB translation plus data-cache latency for
+  loads, a fixed ``lfence`` cost for LVI-fenced instructions.
+
+Interrupt semantics follow hardware: interrupts are taken at
+instruction boundaries, so an instruction that has begun executing when
+the timer fires still retires.  This boundary rule is what makes the
+paper's performance-degradation single-stepping work: a slow first
+instruction widens the window in which *exactly one* instruction
+retires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cpu.isa import Instruction, InstrKind
+from repro.cpu.program import Program
+from repro.uarch.address import line_addr, page_number
+from repro.uarch.btb import Btb
+from repro.uarch.cache import MemoryHierarchy
+from repro.uarch.timing import LatencyModel, cycles_to_ns
+from repro.uarch.tlb import TlbHierarchy
+
+#: Upper bits preserved when the BTB's 32-bit target is resolved against
+#: the fetch region (see Btb docstring / Fig 5.3's 4 GiB padding).
+_REGION_MASK = ~((1 << 32) - 1)
+
+
+@dataclass
+class CoreStats:
+    instructions_retired: int = 0
+    loads: int = 0
+    stores: int = 0
+    mispredicts: int = 0
+    speculative_issues: int = 0
+
+
+class Core:
+    """One logical core bound to the machine's shared structures."""
+
+    def __init__(
+        self,
+        core_id: int,
+        hierarchy: MemoryHierarchy,
+        tlbs: TlbHierarchy,
+        btb: Btb,
+        latency: LatencyModel,
+    ):
+        self.core_id = core_id
+        self.hierarchy = hierarchy
+        self.tlbs = tlbs
+        self.btb = btb
+        self.latency = latency
+        self.stats = CoreStats()
+        self._last_fetch_line: Optional[int] = None
+        self._last_fetch_page: Optional[int] = None
+        self._pipeline_cold = True
+        self._warmup_remaining = latency.frontend_warmup_insts
+
+    # ------------------------------------------------------------------
+    # Context switching hooks
+    # ------------------------------------------------------------------
+    def on_context_switch(self) -> None:
+        """Reset fetch locality; the next instruction re-probes I-side
+        structures (its line/page may have been evicted meanwhile)."""
+        self._last_fetch_line = None
+        self._last_fetch_page = None
+        self._pipeline_cold = True
+        self._warmup_remaining = self.latency.frontend_warmup_insts
+
+    # ------------------------------------------------------------------
+    # Instruction execution (victim path)
+    # ------------------------------------------------------------------
+    def execute(self, asid: int, inst: Instruction) -> float:
+        """Execute one instruction for address space ``asid``.
+
+        Returns the cost in **nanoseconds** and applies all
+        microarchitectural side effects.
+        """
+        cycles = float(self.latency.base_inst)
+        if self._pipeline_cold:
+            cycles += self.latency.pipeline_refill
+            self._pipeline_cold = False
+        if self._warmup_remaining > 0:
+            cycles += self.latency.frontend_warmup_extra
+            self._warmup_remaining -= 1
+        cycles += self._fetch(asid, inst.pc)
+        predicted = self.btb.predict(inst.pc)
+        if predicted is not None:
+            resolved = (inst.pc & _REGION_MASK) | (predicted & ~_REGION_MASK)
+            self.hierarchy.prefetch(self.core_id, resolved, kind="inst")
+            if resolved != inst.next_pc:
+                cycles += self.latency.branch_mispredict
+                self.stats.mispredicts += 1
+        if inst.kind.is_control_transfer:
+            if inst.kind is not InstrKind.BRANCH or inst.taken:
+                target = inst.target if inst.target is not None else inst.next_pc
+                self.btb.on_control_transfer(inst.pc, target)
+        else:
+            self.btb.on_plain_instruction(inst.pc)
+        if inst.kind is InstrKind.LOAD:
+            assert inst.mem_addr is not None
+            cycles += self.tlbs.translate_data(self.core_id, asid, inst.mem_addr)
+            cycles += self.hierarchy.access(self.core_id, inst.mem_addr, kind="data")
+            self.stats.loads += 1
+        elif inst.kind is InstrKind.STORE:
+            assert inst.mem_addr is not None
+            cycles += self.tlbs.translate_data(self.core_id, asid, inst.mem_addr)
+            self.hierarchy.access(self.core_id, inst.mem_addr, kind="data")
+            self.stats.stores += 1
+        if inst.fenced:
+            cycles += self.latency.lfence
+        self.stats.instructions_retired += 1
+        return cycles_to_ns(cycles)
+
+    def issue_speculative(self, asid: int, inst: Instruction) -> None:
+        """Apply only the cache side effects of a squashed instruction.
+
+        Used for the post-interrupt speculative window: loads beyond the
+        retirement boundary still pollute the caches (Fig 5.1's smear)
+        but retire nothing and cost the victim no time.
+        """
+        if inst.kind.is_memory and inst.mem_addr is not None:
+            self.hierarchy.access(self.core_id, inst.mem_addr, kind="data")
+            self.stats.speculative_issues += 1
+
+    def _fetch(self, asid: int, pc: int) -> float:
+        """Frontend cost for fetching ``pc``; 0 when staying on a warm line."""
+        cycles = 0.0
+        page = page_number(pc)
+        if page != self._last_fetch_page:
+            cycles += self.tlbs.translate_fetch(self.core_id, asid, pc)
+            self._last_fetch_page = page
+        line = line_addr(pc)
+        if line != self._last_fetch_line:
+            latency = self.hierarchy.access(self.core_id, pc, kind="inst")
+            if latency > self.latency.l1_hit:
+                cycles += latency  # pipelined L1 hits are free; misses stall
+            self._last_fetch_line = line
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Program execution against a deadline (used by the kernel)
+    # ------------------------------------------------------------------
+    def run_program(
+        self,
+        asid: int,
+        program: Program,
+        start: float,
+        deadline: float,
+        *,
+        spec_lookahead: int = 0,
+    ) -> Tuple[int, float]:
+        """Run ``program`` from ``start`` until an interrupt at ``deadline``.
+
+        Returns ``(instructions_retired, end_time)``.  Per the boundary
+        rule, an instruction whose execution straddles the deadline
+        still retires, so ``end_time`` may exceed ``deadline``.  After
+        the boundary, up to ``spec_lookahead`` further instructions
+        issue their memory effects speculatively (suppressed past a
+        ``fenced`` instruction).
+        """
+        t = start
+        retired = 0
+        while t < deadline:
+            bulk_loops = self._try_loop_fast_forward(asid, program, t, deadline)
+            if bulk_loops:
+                loops, elapsed = bulk_loops
+                profile = program.loop_profile(program.retired)
+                assert profile is not None
+                count = loops * profile.insts_per_loop
+                program.retired += count
+                self.stats.instructions_retired += count
+                retired += count
+                t += elapsed
+                continue
+            inst = program.current()
+            if inst is None:
+                return retired, t  # program finished before the interrupt
+            cost = self.execute(asid, inst)
+            t += cost
+            program.retire()
+            retired += 1
+            if t >= deadline:
+                break
+            run = program.uniform_region_length(program.retired)
+            if run > 1 and not inst.fenced and self._warmup_remaining == 0:
+                per_inst = cycles_to_ns(self.latency.base_inst)
+                budget = int((deadline - t) / per_inst)
+                bulk = min(run, max(budget, 0))
+                if bulk > 0:
+                    # Uniform straight-line region on a warm line: retire
+                    # arithmetically without touching uarch state.
+                    for _ in range(bulk):
+                        program.retire()
+                    self.stats.instructions_retired += bulk
+                    retired += bulk
+                    t += bulk * per_inst
+        if spec_lookahead > 0 and retired >= 0:
+            self.speculate(asid, program, spec_lookahead)
+        return retired, t
+
+    def _try_loop_fast_forward(
+        self, asid: int, program: Program, t: float, deadline: float
+    ):
+        """Whole-loop fast-forward for steady-state tight loops.
+
+        Engages only when (a) the program reports a loop profile at its
+        current index, (b) the remaining window covers at least two full
+        iterations, and (c) the loop's entire footprint is already
+        resident (every line in this core's L1I, every page translated),
+        so per-iteration cost is exactly ``cycles_per_loop``.  Returns
+        ``(iterations, elapsed_ns)`` or None.
+        """
+        profile = program.loop_profile(program.retired)
+        if profile is None or self._warmup_remaining > 0:
+            return None
+        per_loop_ns = cycles_to_ns(profile.cycles_per_loop)
+        window = deadline - t
+        if window < 2 * per_loop_ns:
+            return None
+        l1i = self.hierarchy.l1i[self.core_id]
+        if not all(l1i.contains(line) for line in profile.line_addrs):
+            return None
+        if not all(
+            self.tlbs.itlb[self.core_id].contains(asid, vpn)
+            for vpn in profile.page_vpns
+        ):
+            return None
+        loops = int(window / per_loop_ns)
+        if profile.max_loops is not None:
+            loops = min(loops, profile.max_loops)
+        if loops < 1:
+            return None
+        return loops, loops * per_loop_ns
+
+    def warm_resume(self, asid: int, program: Program, depth: int) -> None:
+        """AEX-Notify model (§6, Constable et al.): a trusted in-enclave
+        prefetch handler runs after ERESUME, warming the working set of
+        the next ``depth`` instructions (lines, translations, data) and
+        refilling the frontend, so the enclave makes significant forward
+        progress before the next interrupt can land."""
+        for offset in range(depth):
+            inst = program.instruction_at(program.retired + offset)
+            if inst is None:
+                break
+            self.tlbs.translate_fetch(self.core_id, asid, inst.pc)
+            self.hierarchy.access(self.core_id, inst.pc, kind="inst")
+            if inst.mem_addr is not None:
+                self.tlbs.translate_data(self.core_id, asid, inst.mem_addr)
+                self.hierarchy.access(self.core_id, inst.mem_addr, kind="data")
+        self._pipeline_cold = False
+        self._warmup_remaining = 0
+
+    def speculate(self, asid: int, program: Program, window: int) -> None:
+        """Issue cache effects for up to ``window`` unretired instructions."""
+        last_retired = program.instruction_at(program.retired - 1)
+        if last_retired is not None and last_retired.fenced:
+            return
+        for offset in range(window):
+            inst = program.instruction_at(program.retired + offset)
+            if inst is None:
+                return
+            if inst.fenced:
+                # An lfence after the load serializes: neither this load
+                # nor anything younger issues before the squash lands.
+                return
+            self.issue_speculative(asid, inst)

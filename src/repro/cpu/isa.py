@@ -1,0 +1,99 @@
+"""Minimal instruction model.
+
+Only the properties that side channels observe are represented: the PC
+(BTB index, I-cache line, iTLB page), whether the instruction loads or
+stores (D-cache line), whether it transfers control (BTB allocation)
+and whether it is followed by a load fence (the LVI-mitigated SGX build
+of §5.2, which suppresses the speculative smear).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class InstrKind(enum.Enum):
+    """Instruction classes distinguished by the microarchitecture."""
+
+    NOP = "nop"  # any non-memory, non-control instruction
+    LOAD = "load"
+    STORE = "store"
+    JMP = "jmp"  # unconditional direct jump
+    CALL = "call"
+    RET = "ret"
+    BRANCH = "branch"  # conditional branch (direction in `taken`)
+
+    @property
+    def is_control_transfer(self) -> bool:
+        return self in (InstrKind.JMP, InstrKind.CALL, InstrKind.RET, InstrKind.BRANCH)
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstrKind.LOAD, InstrKind.STORE)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction in a victim trace.
+
+    ``pc``      — virtual address of the instruction.
+    ``kind``    — what the frontend/backend sees (see InstrKind).
+    ``mem_addr``— effective address for LOAD/STORE.
+    ``target``  — destination for taken control transfers.
+    ``taken``   — direction of a conditional BRANCH.
+    ``fenced``  — an ``lfence`` follows (LVI-mitigated builds): squashed
+                  or lookahead execution of the *next* instructions is
+                  suppressed at this point.
+    ``size``    — encoded length in bytes (PC advance when not taken).
+    ``label``   — optional ground-truth annotation (e.g. "ttable:3" or
+                  "validity_load:17") consumed by analysis code only;
+                  the simulated attacker never reads labels.
+    """
+
+    pc: int
+    kind: InstrKind
+    mem_addr: Optional[int] = None
+    target: Optional[int] = None
+    taken: bool = False
+    fenced: bool = False
+    size: int = 4
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind.is_memory and self.mem_addr is None:
+            raise ValueError(f"{self.kind} requires mem_addr")
+        if self.kind in (InstrKind.JMP, InstrKind.CALL) and self.target is None:
+            raise ValueError(f"{self.kind} requires target")
+
+    @property
+    def next_pc(self) -> int:
+        """PC of the following instruction in the dynamic stream."""
+        if self.kind.is_control_transfer and (
+            self.kind is not InstrKind.BRANCH or self.taken
+        ):
+            if self.target is not None:
+                return self.target
+        return self.pc + self.size
+
+
+def nop(pc: int, *, size: int = 4, label: str = "") -> Instruction:
+    """Convenience constructor for straight-line filler instructions."""
+    return Instruction(pc=pc, kind=InstrKind.NOP, size=size, label=label)
+
+
+def load(pc: int, addr: int, *, fenced: bool = False, label: str = "") -> Instruction:
+    return Instruction(
+        pc=pc, kind=InstrKind.LOAD, mem_addr=addr, fenced=fenced, label=label
+    )
+
+
+def store(pc: int, addr: int, *, label: str = "") -> Instruction:
+    return Instruction(pc=pc, kind=InstrKind.STORE, mem_addr=addr, label=label)
+
+
+def branch(pc: int, target: int, taken: bool, *, label: str = "") -> Instruction:
+    return Instruction(
+        pc=pc, kind=InstrKind.BRANCH, target=target, taken=taken, label=label
+    )

@@ -1,0 +1,196 @@
+"""Victim program abstraction.
+
+A :class:`Program` exposes the dynamic instruction stream by index so
+the execution engine can (a) retire instructions one at a time against
+a deadline, (b) squash and later re-execute an in-flight instruction cut
+off by an interrupt, and (c) peek *ahead* of the retirement point to
+model speculative cache pollution (the "smear" of Fig 5.1).
+
+Two concrete flavours cover every victim in the paper:
+
+* :class:`TraceProgram` — a materialized list of instructions produced
+  by actually running the algorithm (AES, base64, GCD).
+* :class:`StraightlineProgram` — the §4.3 resolution victim: an
+  unbounded loop of same-size instructions, synthesized on demand so an
+  80 000-preemption experiment does not materialize millions of records.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cpu.isa import Instruction, InstrKind
+
+
+@dataclass(frozen=True)
+class LoopProfile:
+    """Steady-state description of a tight loop, enabling the executor
+    to fast-forward whole iterations arithmetically once the loop's
+    footprint is resident (all lines in L1I, all pages translated).
+
+    ``cycles_per_loop`` assumes every fetch hits; the executor verifies
+    residency before using it and falls back to per-instruction
+    execution otherwise.
+    """
+
+    base_pc: int
+    insts_per_loop: int
+    line_addrs: Tuple[int, ...]
+    page_vpns: Tuple[int, ...]
+    cycles_per_loop: float
+    #: Iterations available before the stream ends (None = unbounded).
+    max_loops: Optional[int] = None
+
+
+class Program(ABC):
+    """Indexable dynamic instruction stream with a retirement cursor."""
+
+    def __init__(self) -> None:
+        self.retired = 0
+
+    @abstractmethod
+    def instruction_at(self, index: int) -> Optional[Instruction]:
+        """The ``index``-th dynamic instruction, or None past the end."""
+
+    @property
+    def done(self) -> bool:
+        return self.instruction_at(self.retired) is None
+
+    def current(self) -> Optional[Instruction]:
+        """The next instruction to retire."""
+        return self.instruction_at(self.retired)
+
+    def retire(self) -> None:
+        self.retired += 1
+
+    def reset(self) -> None:
+        self.retired = 0
+
+    @property
+    def current_pc(self) -> Optional[int]:
+        """PC the victim would resume at — what the paper's eBPF probe
+        records at every schedule-in."""
+        inst = self.current()
+        return inst.pc if inst is not None else None
+
+    def uniform_region_length(self, index: int) -> int:
+        """Length of the uniform-cost run starting at ``index``.
+
+        Returns how many consecutive instructions from ``index`` are
+        plain single-cycle instructions on an already-warm line/page, so
+        the executor may bulk-retire them arithmetically.  The default
+        (0) disables the fast path; :class:`StraightlineProgram`
+        overrides it.
+        """
+        return 0
+
+    def loop_profile(self, index: int) -> Optional[LoopProfile]:
+        """Steady-state loop description at ``index``, if the program is
+        a tight loop (see :class:`LoopProfile`).  Default: none."""
+        return None
+
+
+class TraceProgram(Program):
+    """A finite, fully materialized instruction trace."""
+
+    def __init__(self, instructions: List[Instruction], name: str = "trace"):
+        super().__init__()
+        self.name = name
+        self.instructions = instructions
+
+    def instruction_at(self, index: int) -> Optional[Instruction]:
+        if 0 <= index < len(self.instructions):
+            return self.instructions[index]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def labels(self) -> List[str]:
+        """Ground-truth labels in retirement order (analysis only)."""
+        return [i.label for i in self.instructions if i.label]
+
+
+class StraightlineProgram(Program):
+    """Unbounded loop of same-byte-length instructions (§4.3 victim).
+
+    The victim runs ``loop_bytes`` worth of ``inst_size``-byte NOPs and
+    jumps back to the top.  Instruction count per preemption is then
+    just the retired-index delta, exactly like the paper's PC-delta
+    measurement.  ``total`` bounds the stream for experiments that want
+    the victim to eventually exit (None = infinite).
+    """
+
+    def __init__(
+        self,
+        base_pc: int = 0x400000,
+        inst_size: int = 4,
+        loop_bytes: int = 4096,
+        total: Optional[int] = None,
+    ):
+        super().__init__()
+        if loop_bytes % inst_size:
+            raise ValueError("loop_bytes must be a multiple of inst_size")
+        self.base_pc = base_pc
+        self.inst_size = inst_size
+        self.loop_insts = loop_bytes // inst_size
+        self.total = total
+
+    def instruction_at(self, index: int) -> Optional[Instruction]:
+        if self.total is not None and index >= self.total:
+            return None
+        slot = index % self.loop_insts
+        pc = self.base_pc + slot * self.inst_size
+        if slot == self.loop_insts - 1:
+            return Instruction(
+                pc=pc, kind=InstrKind.JMP, target=self.base_pc, size=self.inst_size
+            )
+        return Instruction(pc=pc, kind=InstrKind.NOP, size=self.inst_size)
+
+    def uniform_region_length(self, index: int) -> int:
+        """Instructions until the next line boundary or loop-back jump.
+
+        Within a cache line of NOPs every instruction costs exactly the
+        base cycle once the line is resident, so the executor may retire
+        the remainder of the current line in one step.  A region never
+        starts at a line boundary: the boundary instruction must execute
+        normally to warm the line (and possibly the page) first.
+        """
+        if self.total is not None and index >= self.total:
+            return 0
+        slot = index % self.loop_insts
+        per_line = 64 // self.inst_size
+        if slot % per_line == 0:
+            return 0  # line boundary: must fetch normally first
+        run = per_line - (slot % per_line)
+        run = min(run, self.loop_insts - 1 - slot)  # stop before the jump
+        if self.total is not None:
+            run = min(run, self.total - index)
+        return run if run > 0 else 0
+
+    def loop_profile(self, index: int) -> Optional[LoopProfile]:
+        """Whole-loop fast-forward is valid from any loop-top index."""
+        if index % self.loop_insts != 0:
+            return None
+        max_loops = None
+        if self.total is not None:
+            max_loops = (self.total - index) // self.loop_insts
+            if max_loops < 1:
+                return None
+        loop_bytes = self.loop_insts * self.inst_size
+        lines = tuple(range(self.base_pc, self.base_pc + loop_bytes, 64))
+        pages = tuple(
+            sorted({pc // 4096 for pc in range(self.base_pc,
+                                               self.base_pc + loop_bytes, 4096)}
+                   | {(self.base_pc + loop_bytes - 1) // 4096})
+        )
+        return LoopProfile(
+            base_pc=self.base_pc,
+            insts_per_loop=self.loop_insts,
+            line_addrs=lines,
+            page_vpns=pages,
+            cycles_per_loop=float(self.loop_insts),  # 1 cycle/inst, fetches hit
+            max_loops=max_loops,
+        )

@@ -1,0 +1,23 @@
+"""Paper §4 characterization experiments.
+
+One module per figure/claim:
+
+* :mod:`repro.experiments.resolution` — Figs 4.3a/b/c and 4.7.
+* :mod:`repro.experiments.preemption_count` — Figs 4.4 and 4.5 and the
+  §4.5 EEVDF budget statistic.
+* :mod:`repro.experiments.noise` — Fig 4.6 (vruntime progression with a
+  noise thread).
+* :mod:`repro.experiments.colocation` — the §4.4 technique.
+* :mod:`repro.experiments.mitigations` — the §6 defences.
+* :mod:`repro.experiments.channel_noise` — the §4.3 channel-noise
+  remedies (majority vote; core-private channels).
+
+All experiments build on :mod:`repro.experiments.setup`, scale their
+sample counts through :func:`repro.experiments.setup.scaled`, and
+return plain dataclasses so benchmarks/examples can print paper-style
+tables without touching simulator internals.
+"""
+
+from repro.experiments.setup import ExperimentEnv, build_env, scaled
+
+__all__ = ["ExperimentEnv", "build_env", "scaled"]

@@ -1,0 +1,123 @@
+"""Kernel path-cost model.
+
+These constants set the "Goldilocks zone" of §4.2: the sum of the
+syscall-exit, timer-interrupt and context-switch costs is the scheduling
+overhead that a nanosleep interval τ races against.  τ smaller than the
+overhead produces zero steps; τ slightly larger lands inside the
+victim's first (deliberately slowed) instruction and produces single
+steps.
+
+Values are calibrated to measured Linux figures on Coffee Lake desktops
+(a few hundred ns of IRQ entry, ~1–2 µs for a full sleep→wake→switch
+round trip).  Every draw is jittered through a dedicated RNG stream so
+experiments see realistic spread but remain reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Mean/σ (ns) for each kernel path."""
+
+    syscall_entry_mean: float = 180.0
+    syscall_entry_sd: float = 12.0
+
+    irq_entry_mean: float = 650.0
+    irq_entry_sd: float = 20.0
+
+    # One direction of a context switch (schedule() + switch_to + return
+    # to user).  A full sleep→wake round trip pays roughly
+    # syscall + switch + irq + switch ≈ 2.2 µs on the modelled machine.
+    # The σ values are small: the nap→wake path is the same warm kernel
+    # code every round, and its determinism is what gives the paper its
+    # Goldilocks window (an attacker picks τ at ~10 ns granularity).
+    switch_mean: float = 700.0
+    switch_sd: float = 14.0
+
+    # Extra latency between hrtimer expiry and the wakeup being
+    # processed (hrtimer softirq path), beyond the programmed slack.
+    timer_fire_mean: float = 120.0
+    timer_fire_sd: float = 10.0
+
+    signal_delivery_mean: float = 350.0
+    signal_delivery_sd: float = 25.0
+
+    # SGX transitions: an Asynchronous Enclave Exit (interrupt while the
+    # enclave runs) and the subsequent ERESUME are far heavier than a
+    # plain context switch and include the hardware TLB flush.
+    # Like the rest of the wake path these are warm, fixed code paths;
+    # their spread must stay well under the stepping window for
+    # SGX-Step-style attacks to work at all (and it does, on hardware).
+    aex_mean: float = 1100.0
+    aex_sd: float = 18.0
+    eresume_mean: float = 1900.0
+    eresume_sd: float = 25.0
+
+
+class CostModel:
+    """Draws jittered kernel-path costs from named RNG streams."""
+
+    def __init__(self, rng: RngStreams, params: CostParams = CostParams()):
+        self.rng = rng
+        self.params = params
+
+    def _draw(self, stream: str, mean: float, sd: float) -> float:
+        value = self.rng.gauss(stream, mean, sd)
+        # Costs are physically positive; clamp the rare deep-left tail.
+        return max(value, mean * 0.25)
+
+    def syscall_entry(self) -> float:
+        return self._draw("cost.syscall", self.params.syscall_entry_mean,
+                          self.params.syscall_entry_sd)
+
+    def irq_entry(self) -> float:
+        return self._draw("cost.irq", self.params.irq_entry_mean,
+                          self.params.irq_entry_sd)
+
+    def context_switch(self) -> float:
+        return self._draw("cost.switch", self.params.switch_mean,
+                          self.params.switch_sd)
+
+    def timer_fire(self) -> float:
+        return self._draw("cost.timer", self.params.timer_fire_mean,
+                          self.params.timer_fire_sd)
+
+    def signal_delivery(self) -> float:
+        return self._draw("cost.signal", self.params.signal_delivery_mean,
+                          self.params.signal_delivery_sd)
+
+    def aex(self) -> float:
+        return self._draw("cost.aex", self.params.aex_mean, self.params.aex_sd)
+
+    def eresume(self) -> float:
+        return self._draw("cost.eresume", self.params.eresume_mean,
+                          self.params.eresume_sd)
+
+    def timer_slack_draw(self, slack_ns: float) -> float:
+        """Actual extra delay within the programmed timer slack window.
+
+        The kernel may fire a timer anywhere in [expiry, expiry+slack]
+        to batch wakeups; with the default 50 µs slack this dwarfs the
+        attack's precision, which is why the attacker's first move is
+        ``prctl(PR_SET_TIMERSLACK, 1)``.
+        """
+        if slack_ns <= 1.0:
+            return 0.0
+        return self.rng.uniform("cost.slack", 0.0, slack_ns)
+
+    def expected_round_trip(self) -> float:
+        """Mean overhead of one nap→wake→preempt cycle (no jitter);
+        useful for tests and for choosing τ in examples."""
+        p = self.params
+        return (
+            p.syscall_entry_mean
+            + p.switch_mean
+            + p.timer_fire_mean
+            + p.irq_entry_mean
+            + p.switch_mean
+        )

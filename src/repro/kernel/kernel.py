@@ -1,0 +1,682 @@
+"""The kernel: dispatch loop, hrtimers, syscalls, context switches.
+
+Execution model
+---------------
+Each logical CPU advances through *dispatch* events on the shared
+simulator.  A dispatch at time ``t``:
+
+1. charges the current task's vruntime up to ``t`` (``update_curr``);
+2. processes a pending blocking syscall, if the last window ended in one;
+3. delivers due hrtimer interrupts (wakeups + Eq 2.2 preemption checks),
+   consuming IRQ-entry time;
+4. runs the periodic scheduler tick when due (Scenario 1 checks);
+5. performs a context switch if one is needed (with its cost); otherwise
+6. runs the current task's body until the CPU's *event horizon* — the
+   earliest pending hrtimer or tick — and schedules the next dispatch
+   where the body stopped.
+
+Interrupts are taken at instruction boundaries: a body may overshoot
+its horizon by the one action/instruction in flight, exactly the
+behaviour that makes performance-degradation single-stepping work.
+
+Timer-interrupt wakeups follow the CFS quirk the paper highlights: a
+successful Eq 2.2 check switches to *the waking thread*, not to a
+global pick, even if a third queued thread has a smaller vruntime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cpu.machine import Machine
+from repro.kernel import actions as act
+from repro.kernel.costs import CostModel, CostParams
+from repro.kernel.threads import (
+    BlockRequest,
+    CoroutineBody,
+    ExecContext,
+    ProgramBody,
+    RunOutcome,
+    ThreadBody,
+)
+from repro.kernel.tracing import (
+    ExitToUserRecord,
+    KernelTracer,
+    SwitchRecord,
+    WakeupRecord,
+)
+from repro.sched.base import SchedPolicy
+from repro.sched.loadbalance import BALANCE_INTERVAL_NS, LoadBalancer
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task, TaskState
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.rng import RngStreams
+from repro.uarch.timing import cycles_to_ns
+from repro.victims.layout import ATTACKER_HUGE_REGION
+
+_EPS = 1e-6
+
+#: Default timer slack granted to every thread (Linux: 50 µs).
+DEFAULT_TIMER_SLACK_NS = 50_000.0
+
+#: Base of the region the kernel's own code/data occupy in the flat
+#: simulated address space (far above any task's allocations).
+KERNEL_REGION_BASE = 0xFFFF_0000_0000
+
+#: Floor on periodic-timer intervals.  Real hrtimers throttle expiry
+#: storms whose handling outruns the period ("hrtimer: interrupt took
+#: too long"); without a floor a sub-µs period would starve the armer
+#: itself.  One µs sits just above the modelled IRQ path.
+PERIODIC_MIN_NS = 1_000.0
+
+
+@dataclass
+class KernelConfig:
+    """Kernel-level knobs independent of the scheduling policy."""
+
+    default_timer_slack: float = DEFAULT_TIMER_SLACK_NS
+    balance_interval: float = BALANCE_INTERVAL_NS
+    enable_load_balancer: bool = True
+    #: Measurement jitter (cycles, σ) added to rdtscp-timed loads.
+    timed_load_jitter_cycles: float = 1.5
+    #: Cache lines the kernel's own code/data touch during each context
+    #: switch — the §4.3 "channel noise from the kernel's footprint".
+    #: Attacks that monitor L1-sized structures see this pollution;
+    #: monitoring the L2/LLC (as the paper recommends) does not.
+    footprint_inst_lines: int = 16
+    footprint_data_lines: int = 8
+    #: AEX-Notify mitigation (§6): depth of the trusted prefetch
+    #: handler's warm-up on every enclave resume.  0 disables it.
+    aex_notify_depth: int = 0
+
+
+@dataclass
+class _Timer:
+    expiry: float
+    task: Task
+    cpu: int
+    interval: Optional[float] = None  # periodic (POSIX timer) when set
+    is_signal: bool = False  # Method 2: delivery pays signal cost
+    cancelled: bool = False
+    overruns: int = 0
+
+
+@dataclass
+class _CpuState:
+    rq: RunQueue
+    tick_next: Optional[float] = None
+    accounted_until: float = 0.0
+    switching: bool = False
+    need_resched: bool = False
+    resched_reason: str = "tick"
+    switch_to: Optional[Task] = None
+    pending_block: Optional[BlockRequest] = None
+    dispatch: Optional[EventHandle] = None
+    timers: List[_Timer] = field(default_factory=list)
+
+
+class _KernelExecContext(ExecContext):
+    """ExecContext implementation bound to one (kernel, cpu, task)."""
+
+    def __init__(self, kernel: "Kernel", cpu: int, task: Task):
+        self.kernel = kernel
+        self.cpu = cpu
+        self.task = task
+        self.core = kernel.machine.core(cpu)
+        self.asid = task.pid
+
+    @staticmethod
+    def _is_huge(addr: int) -> bool:
+        """Userspace attack buffers in the LLC arena use 2 MiB pages."""
+        lo, hi = ATTACKER_HUGE_REGION
+        return lo <= addr < hi
+
+    def draw_spec_window(self) -> int:
+        window = self.kernel.machine.config.spec_window
+        if window <= 0:
+            return 0
+        return self.kernel.rng.stream("spec").randint(0, window)
+
+    # ------------------------------------------------------------------
+    def exec_action(self, action, now: float):
+        k = self.kernel
+        lat = k.machine.config.latency
+        if isinstance(action, act.Compute):
+            return action.ns, None, None
+        if isinstance(action, act.Load):
+            cycles = self.core.tlbs.translate_data(
+                self.cpu, self.asid, action.addr, huge=self._is_huge(action.addr)
+            )
+            cycles += self.core.hierarchy.access(self.cpu, action.addr, "data")
+            return cycles_to_ns(cycles + lat.base_inst), cycles, None
+        if isinstance(action, act.TimedLoad):
+            cycles = self.core.tlbs.translate_data(
+                self.cpu, self.asid, action.addr, huge=self._is_huge(action.addr)
+            )
+            cycles += self.core.hierarchy.access(self.cpu, action.addr, "data")
+            cost = cycles + 2 * lat.rdtscp + lat.base_inst
+            jitter = k.rng.gauss("timed_load", 0.0, k.config.timed_load_jitter_cycles)
+            measured = max(0.0, cycles + jitter)
+            return cycles_to_ns(cost), measured, None
+        if isinstance(action, act.Store):
+            self.core.tlbs.translate_data(self.cpu, self.asid, action.addr)
+            self.core.hierarchy.access(self.cpu, action.addr, "data")
+            return cycles_to_ns(lat.base_inst), None, None
+        if isinstance(action, act.Flush):
+            self.core.hierarchy.clflush(action.addr)
+            return cycles_to_ns(lat.clflush), None, None
+        if isinstance(action, act.ExecInst):
+            cost = self.core.execute(self.asid, action.inst)
+            return cost, cost, None
+        if isinstance(action, act.GetTime):
+            cost = cycles_to_ns(lat.rdtscp)
+            return cost, now + cost, None
+        if isinstance(action, act.SetTimerSlack):
+            self.task.timer_slack = action.ns
+            return k.costs.syscall_entry(), None, None
+        if isinstance(action, act.TimerCreate):
+            cost = 2 * k.costs.syscall_entry()
+            first = action.first_after_ns
+            if first is None:
+                first = action.interval_ns
+            k.arm_periodic_timer(self.task, self.cpu, now + cost + first,
+                                 action.interval_ns)
+            return cost, None, None
+        if isinstance(action, act.TimerCancel):
+            k.cancel_timers(self.task)
+            return k.costs.syscall_entry(), None, None
+        if isinstance(action, act.SignalTask):
+            cost = k.costs.syscall_entry() + k.costs.signal_delivery()
+            k.signal_task(action.target_pid, self.cpu)
+            return cost, None, None
+        if isinstance(action, act.Nanosleep):
+            return 0.0, None, BlockRequest("nanosleep", action.ns)
+        if isinstance(action, act.Pause):
+            return 0.0, None, BlockRequest("pause")
+        if isinstance(action, act.Exit):
+            return 0.0, None, BlockRequest("exit")
+        raise TypeError(f"unknown action {action!r}")
+
+
+class Kernel:
+    """Simulated OS kernel running one scheduling policy over a machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy: SchedPolicy,
+        rng: Optional[RngStreams] = None,
+        *,
+        sim: Optional[Simulator] = None,
+        tracer: Optional[KernelTracer] = None,
+        config: Optional[KernelConfig] = None,
+        cost_params: Optional[CostParams] = None,
+    ):
+        self.machine = machine
+        self.policy = policy
+        self.params = policy.params
+        self.rng = rng or RngStreams(seed=0)
+        self.sim = sim or Simulator()
+        self.tracer = tracer or KernelTracer()
+        self.config = config or KernelConfig()
+        self.costs = CostModel(self.rng, cost_params or CostParams())
+        self.cpus = [_CpuState(RunQueue(c)) for c in range(machine.n_cores)]
+        self.balancer = LoadBalancer([st.rq for st in self.cpus])
+        self.tasks: List[Task] = []
+        if self.config.enable_load_balancer and machine.n_cores > 1:
+            self.sim.call_after(self.config.balance_interval, self._balance_tick,
+                               label="balance")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def spawn(
+        self,
+        task: Task,
+        cpu: Optional[int] = None,
+        *,
+        wake_placement: bool = False,
+        sleep_vruntime: Optional[float] = None,
+    ) -> Task:
+        """Make ``task`` runnable (fork + wake).  ``cpu`` pins the
+        initial placement; otherwise the load balancer's idlest-CPU
+        selection is used (the lever of §4.4).
+
+        ``wake_placement`` places the task through the Scenario 2 path
+        (Eq 2.1) instead of fork placement — modelling a victim that was
+        blocked (e.g. on IO) and is now woken, with
+        ``sleep_vruntime`` as the vruntime it slept at."""
+        if task.body is None:
+            raise ValueError(f"{task} has no body")
+        if cpu is None:
+            cpu = self.balancer.select_cpu(task)
+        if not task.can_run_on(cpu):
+            raise ValueError(f"{task} cannot run on cpu{cpu}")
+        st = self.cpus[cpu]
+        self._charge_upto(cpu, self.sim.now)
+        if wake_placement:
+            if sleep_vruntime is not None:
+                task.last_sleep_vruntime = sleep_vruntime
+                task.vruntime = sleep_vruntime
+            self.policy.place_waking(st.rq, task)
+        else:
+            self.policy.place_initial(st.rq, task)
+        st.rq.add(task)
+        self.tasks.append(task)
+        self._kick(cpu)
+        return task
+
+    def run_until(
+        self,
+        predicate: Optional[Callable[[], bool]] = None,
+        *,
+        max_time: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Advance the simulation until ``predicate()`` holds, the event
+        heap drains, or ``max_time``/``max_events`` is hit."""
+        events = 0
+        while True:
+            if predicate is not None and predicate():
+                return
+            next_time = self.sim.peek_next_time()
+            if next_time is None:
+                return
+            if max_time is not None and next_time > max_time:
+                return
+            self.sim.step()
+            events += 1
+            if events >= max_events:
+                raise RuntimeError("kernel.run_until exceeded max_events")
+
+    def task_exited(self, task: Task) -> bool:
+        return task.state is TaskState.EXITED
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def arm_oneshot_timer(self, task: Task, cpu: int, nominal_expiry: float) -> _Timer:
+        """nanosleep-style timer: fires within the task's timer slack."""
+        actual = nominal_expiry + self.costs.timer_slack_draw(task.timer_slack)
+        timer = _Timer(expiry=actual, task=task, cpu=cpu)
+        self.cpus[cpu].timers.append(timer)
+        self._kick_for_timer(cpu, timer)
+        return timer
+
+    def arm_periodic_timer(
+        self, task: Task, cpu: int, first_expiry: float, interval: float
+    ) -> _Timer:
+        interval = max(interval, PERIODIC_MIN_NS)
+        timer = _Timer(
+            expiry=first_expiry, task=task, cpu=cpu, interval=interval, is_signal=True
+        )
+        self.cpus[cpu].timers.append(timer)
+        self._kick_for_timer(cpu, timer)
+        return timer
+
+    def signal_task(self, target_pid: int, from_cpu: int) -> None:
+        """Deliver a wake-up signal to ``target_pid`` (kill semantics):
+        a task blocked in pause() wakes through Scenario 2; a runnable
+        or running target just accrues the (ignored) signal."""
+        for task in self.tasks:
+            if task.pid == target_pid:
+                if task.state is TaskState.SLEEPING:
+                    self._wake_task(from_cpu, task)
+                return
+        raise ValueError(f"no task with pid {target_pid}")
+
+    def cancel_timers(self, task: Task) -> None:
+        for st in self.cpus:
+            for timer in st.timers:
+                if timer.task is task:
+                    timer.cancelled = True
+
+    def _kick_for_timer(self, cpu: int, timer: _Timer) -> None:
+        """Ensure an idle CPU wakes up to deliver the new timer."""
+        st = self.cpus[cpu]
+        if st.rq.current is None and not st.switching:
+            self._schedule_dispatch(cpu, max(self.sim.now, timer.expiry))
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+    def _schedule_dispatch(self, cpu: int, time: float) -> None:
+        st = self.cpus[cpu]
+        time = max(time, self.sim.now)
+        if st.dispatch is not None and not st.dispatch.cancelled:
+            if st.dispatch.time <= time + _EPS:
+                return
+            st.dispatch.cancel()
+        st.dispatch = self.sim.call_at(
+            time, lambda c=cpu: self._dispatch(c), priority=10, label=f"dispatch{cpu}"
+        )
+
+    def _kick(self, cpu: int) -> None:
+        self._schedule_dispatch(cpu, self.sim.now)
+
+    def _dispatch(self, cpu: int) -> None:
+        st = self.cpus[cpu]
+        st.dispatch = None
+        if st.switching:
+            return
+        now = self.sim.now
+        self._charge_upto(cpu, now)
+
+        # 2. blocking syscall from the previous window
+        if st.pending_block is not None:
+            self._handle_block(cpu)
+            return
+
+        # 3. due hrtimers → interrupt
+        irq_ns = 0.0
+        due = [t for t in st.timers if not t.cancelled and t.expiry <= now + _EPS]
+        if due:
+            irq_ns = self.costs.irq_entry()
+            for timer in due:
+                irq_ns += self._fire_timer(cpu, timer)
+            st.timers = [t for t in st.timers if not t.cancelled and t.expiry > now + _EPS]
+            # The IRQ window occupies the CPU; charge whoever is current
+            # and continue below — a successful wakeup's context switch
+            # must happen in this dispatch, or a periodic timer shorter
+            # than the IRQ path would starve it forever (an interrupt
+            # storm must not livelock the scheduler).
+            if st.rq.current is not None:
+                self._charge_task(cpu, st.rq.current, now + irq_ns)
+
+        # 4. scheduler tick (catch up if several lapsed while the CPU
+        # was busy in an IRQ window or a long switch)
+        if st.tick_next is not None and now >= st.tick_next - _EPS:
+            while st.tick_next is not None and now >= st.tick_next - _EPS:
+                st.tick_next += self.params.tick
+            curr = st.rq.current
+            if curr is not None and self.policy.tick_preempt(st.rq, curr):
+                st.need_resched = True
+                st.resched_reason = "tick"
+
+        # 5. context switch (delayed past the IRQ window just consumed)
+        if st.rq.current is None or st.need_resched:
+            self._begin_switch(cpu, at=now + irq_ns if irq_ns else None)
+            return
+        if irq_ns:
+            # Interrupt handled, no switch: resume the body afterwards.
+            self._schedule_dispatch(cpu, now + irq_ns)
+            return
+
+        # 6. run the body
+        curr = st.rq.current
+        horizon = self._next_event_time(cpu)
+        if horizon <= now + _EPS:
+            self._schedule_dispatch(cpu, horizon)
+            return
+        ctx = _KernelExecContext(self, cpu, curr)
+        outcome = curr.body.run(ctx, now, horizon)
+        self._charge_task(cpu, curr, outcome.end)
+        if outcome.exited:
+            st.pending_block = BlockRequest("exit")
+        elif outcome.block is not None:
+            st.pending_block = outcome.block
+        self._schedule_dispatch(cpu, outcome.end)
+
+    def _next_event_time(self, cpu: int) -> float:
+        st = self.cpus[cpu]
+        candidates = [t.expiry for t in st.timers if not t.cancelled]
+        if st.tick_next is not None:
+            candidates.append(st.tick_next)
+        if not candidates:
+            # A running task with no tick cannot happen (tick is armed
+            # whenever the CPU is busy), but stay safe.
+            return self.sim.now + self.params.tick
+        return min(candidates)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _charge_upto(self, cpu: int, time: float) -> None:
+        st = self.cpus[cpu]
+        curr = st.rq.current
+        if curr is not None and time > st.accounted_until:
+            self._charge_task(cpu, curr, time)
+
+    def _charge_task(self, cpu: int, task: Task, upto: float) -> None:
+        st = self.cpus[cpu]
+        delta = upto - st.accounted_until
+        if delta > 0:
+            self.policy.charge(st.rq, task, delta)
+            st.accounted_until = upto
+            self.tracer.record_vruntime(upto, task.pid, task.vruntime)
+
+    # ------------------------------------------------------------------
+    # Blocking syscalls (Scenario 3)
+    # ------------------------------------------------------------------
+    def _handle_block(self, cpu: int) -> None:
+        st = self.cpus[cpu]
+        block = st.pending_block
+        st.pending_block = None
+        curr = st.rq.current
+        assert curr is not None and block is not None
+        now = self.sim.now
+        if block.kind == "exit":
+            curr.state = TaskState.EXITED
+            st.rq.current = None
+            self.tracer.record_switch(
+                SwitchRecord(now, cpu, curr.pid, None, "exit", curr.vruntime)
+            )
+            self._begin_switch(cpu)
+            return
+        syscall_ns = self.costs.syscall_entry()
+        self.policy.charge(st.rq, curr, syscall_ns)
+        end = now + syscall_ns
+        st.accounted_until = end
+        self.policy.on_dequeue_sleep(st.rq, curr)
+        curr.state = TaskState.SLEEPING
+        st.rq.current = None
+        if block.kind == "nanosleep":
+            self.arm_oneshot_timer(curr, cpu, end + block.ns)
+        # 'pause' blocks with no timer of its own (a periodic timer or
+        # another thread's signal will wake it).
+        self.tracer.record_switch(
+            SwitchRecord(now, cpu, curr.pid, None, "block", curr.vruntime)
+        )
+        self._begin_switch(cpu, at=end)
+
+    # ------------------------------------------------------------------
+    # Wakeups (Scenario 2)
+    # ------------------------------------------------------------------
+    def _fire_timer(self, cpu: int, timer: _Timer) -> float:
+        """Deliver one due timer; returns extra IRQ-path nanoseconds."""
+        extra = self.costs.timer_fire()
+        task = timer.task
+        if timer.interval is not None and not timer.cancelled:
+            # Re-arm the periodic timer for its next *future* period.
+            # Expirations that were overshot (e.g. by a long handler)
+            # are overruns, not queued firings — POSIX semantics.
+            next_expiry = timer.expiry + timer.interval
+            while next_expiry <= self.sim.now + _EPS:
+                next_expiry += timer.interval
+                timer.overruns += 1
+            next_timer = _Timer(
+                expiry=next_expiry,
+                task=task,
+                cpu=timer.cpu,
+                interval=timer.interval,
+                is_signal=timer.is_signal,
+            )
+            self.cpus[timer.cpu].timers.append(next_timer)
+        if task.state is not TaskState.SLEEPING:
+            timer.overruns += 1
+            return extra
+        if timer.is_signal:
+            extra += self.costs.signal_delivery()
+        self._wake_task(cpu, task)
+        return extra
+
+    def _wake_task(self, cpu: int, task: Task) -> None:
+        """Scenario 2: move ``task`` from the waitqueue to a runqueue,
+        place its vruntime (Eq 2.1) and run the preemption check (Eq 2.2)."""
+        target = cpu if task.can_run_on(cpu) else self.balancer.select_cpu(task)
+        st = self.cpus[target]
+        self._charge_upto(target, self.sim.now)
+        self.policy.place_waking(st.rq, task)
+        st.rq.add(task)
+        task.wakeups += 1
+        curr = st.rq.current
+        preempt = False
+        if curr is not None:
+            preempt = self.policy.wants_wakeup_preempt(st.rq, curr, task)
+        self.tracer.record_wakeup(
+            WakeupRecord(
+                self.sim.now,
+                target,
+                task.pid,
+                task.vruntime,
+                curr.pid if curr else None,
+                curr.vruntime if curr else 0.0,
+                preempt,
+            )
+        )
+        if preempt:
+            assert curr is not None
+            curr.preemptions_suffered += 1
+            st.need_resched = True
+            st.resched_reason = "preempt_wakeup"
+            st.switch_to = task
+        elif curr is not None and target == cpu:
+            # Failed preemption: the interrupt returns straight to the
+            # interrupted task — a kernel exit the paper's stop rule
+            # watches for.
+            self._record_exit(target, curr)
+        if target != cpu:
+            self._kick(target)
+
+    # ------------------------------------------------------------------
+    # Context switching
+    # ------------------------------------------------------------------
+    def _begin_switch(self, cpu: int, at: Optional[float] = None) -> None:
+        st = self.cpus[cpu]
+        now = at if at is not None else self.sim.now
+        st.need_resched = False
+        prev = st.rq.current
+        if prev is not None:
+            # Involuntary deschedule: apply SGX AEX / speculative smear.
+            ctx = _KernelExecContext(self, cpu, prev)
+            prev.body.on_preempted(ctx)
+            if prev.enclave:
+                self.machine.tlbs.flush_core(cpu)
+            prev.state = TaskState.RUNNABLE
+            st.rq.current = None
+            st.rq.add(prev)
+        next_task = st.switch_to
+        st.switch_to = None
+        if next_task is not None and next_task not in st.rq.queued:
+            next_task = None  # migrated or state changed meanwhile
+        if next_task is None:
+            next_task = self.policy.pick_next(st.rq)
+        if next_task is None:
+            # Idle.
+            st.tick_next = None
+            self.tracer.record_switch(
+                SwitchRecord(now, cpu, prev.pid if prev else None, None, "idle")
+            )
+            pending = [t.expiry for t in st.timers if not t.cancelled]
+            if pending:
+                self._schedule_dispatch(cpu, min(pending))
+            return
+        st.rq.remove(next_task)
+        st.switching = True
+        cost = self.costs.context_switch()
+        if prev is not None and prev.enclave:
+            cost += self.costs.aex()
+        reason = st.resched_reason if prev is not None else "block"
+        self.tracer.record_switch(
+            SwitchRecord(
+                now,
+                cpu,
+                prev.pid if prev else None,
+                next_task.pid,
+                reason,
+                prev.vruntime if prev else 0.0,
+                next_task.vruntime,
+            )
+        )
+        self.sim.call_at(
+            max(now + cost, self.sim.now),
+            lambda c=cpu, t=next_task: self._finish_switch(c, t),
+            priority=5,
+            label=f"finish_switch{cpu}",
+        )
+
+    def _finish_switch(self, cpu: int, task: Task) -> None:
+        st = self.cpus[cpu]
+        st.switching = False
+        now = self.sim.now
+        st.rq.current = task
+        task.state = TaskState.RUNNING
+        task.slice_exec = 0.0
+        st.accounted_until = now
+        self.machine.core(cpu).on_context_switch()
+        self._touch_kernel_footprint(cpu)
+        if st.tick_next is None:
+            st.tick_next = now + self.params.tick
+        delay = 0.0
+        if task.enclave:
+            delay = self.costs.eresume()
+            if self.config.aex_notify_depth > 0 and isinstance(task.body, ProgramBody):
+                # The trusted handler runs inside the enclave after
+                # ERESUME; its warm-up work extends the resume delay.
+                self.machine.core(cpu).warm_resume(
+                    task.pid, task.body.program, self.config.aex_notify_depth
+                )
+                delay += self.costs.eresume()
+        self._record_exit(cpu, task)
+        self._schedule_dispatch(cpu, now + delay)
+
+    def _record_exit(self, cpu: int, task: Task) -> None:
+        pc = None
+        retired = None
+        if isinstance(task.body, ProgramBody):
+            pc = task.body.program.current_pc
+            retired = task.body.program.retired
+        self.tracer.record_exit(
+            ExitToUserRecord(self.sim.now, cpu, task.pid, pc, retired)
+        )
+
+    def _touch_kernel_footprint(self, cpu: int) -> None:
+        """Model the kernel's own cache footprint on the switch path.
+
+        A rotating window of kernel-text/data lines is accessed so the
+        pollution is neither fully fixed (unrealistically learnable) nor
+        uniform noise.  This is the channel noise §4.3 attributes to the
+        kernel and mitigates by monitoring structures larger than L1.
+        """
+        cfg = self.config
+        if cfg.footprint_inst_lines <= 0 and cfg.footprint_data_lines <= 0:
+            return
+        hierarchy = self.machine.hierarchy
+        offset = self.rng.stream("kfoot").randrange(0, 8) * 64
+        # The footprint's LLC sets model where this kernel build's
+        # switch-path text/data happen to map — chosen away from the
+        # victims' hot sets, the common case on a 16K-set LLC.  (When
+        # they do collide, §4.3's channel-noise mitigations apply.)
+        base = KERNEL_REGION_BASE + 1500 * 64 + offset
+        for i in range(cfg.footprint_inst_lines):
+            hierarchy.access(cpu, base + i * 64, kind="inst")
+        data_base = KERNEL_REGION_BASE + 0x10_0000 + 1800 * 64 + offset
+        for i in range(cfg.footprint_data_lines):
+            hierarchy.access(cpu, data_base + i * 64, kind="data")
+
+    # ------------------------------------------------------------------
+    # Load balancing
+    # ------------------------------------------------------------------
+    def _balance_tick(self) -> None:
+        migrations = self.balancer.balance(self.sim.now)
+        for migration in migrations:
+            self._kick(migration.dst_cpu)
+        # Keep balancing only while there is anything left to schedule.
+        if any(t.state is not TaskState.EXITED for t in self.tasks):
+            self.sim.call_after(self.config.balance_interval, self._balance_tick,
+                               label="balance")

@@ -1,0 +1,158 @@
+"""Thread bodies: what a task does when it owns the CPU.
+
+Three flavours cover everyone in the paper's experiments:
+
+* :class:`CoroutineBody` — generator-driven userspace code (the
+  attacker, noise threads).  Yields :mod:`repro.kernel.actions` actions;
+  the kernel executes them and sends results back in.
+* :class:`ProgramBody` — a victim replaying an instruction trace
+  through the core's microarchitecture (AES, base64, GCD, the
+  straight-line resolution victim).
+* :class:`ComputeBody` — a pure CPU burner with no microarchitectural
+  footprint (the colocation dummies).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.cpu.core import Core
+from repro.cpu.program import Program
+from repro.kernel.actions import Action
+
+
+@dataclass
+class BlockRequest:
+    """A body asked the kernel to block it."""
+
+    kind: str  # 'nanosleep' | 'pause' | 'exit'
+    ns: float = 0.0
+
+
+@dataclass
+class RunOutcome:
+    """Result of running a body for one window.
+
+    ``end`` is when the body stopped consuming CPU (may overshoot the
+    window's deadline by at most one action/instruction — the interrupt
+    boundary rule).  ``block`` is set when the body invoked a blocking
+    syscall; ``exited`` when it terminated.
+    """
+
+    end: float
+    block: Optional[BlockRequest] = None
+    exited: bool = False
+
+
+class ThreadBody(ABC):
+    """Behaviour of one task."""
+
+    @abstractmethod
+    def run(self, ctx: "ExecContext", start: float, deadline: float) -> RunOutcome:
+        """Consume CPU from ``start`` until ``deadline``, a blocking
+        syscall, or termination — whichever comes first."""
+
+    def on_preempted(self, ctx: "ExecContext") -> None:
+        """Hook invoked when the task is involuntarily descheduled."""
+
+
+class ExecContext:
+    """What a body sees of the machine while it runs.
+
+    Defined abstractly here; the kernel provides the implementation
+    (it needs kernel state to execute syscalls).
+    """
+
+    core: Core
+    asid: int
+
+    def exec_action(self, action: Action, now: float):
+        """Execute ``action`` at time ``now``.
+
+        Returns ``(cost_ns, result, block_request_or_None)``.
+        """
+        raise NotImplementedError
+
+    def draw_spec_window(self) -> int:
+        """Random speculative-lookahead depth for this preemption."""
+        raise NotImplementedError
+
+
+class CoroutineBody(ThreadBody):
+    """Generator-driven userspace code."""
+
+    def __init__(self, gen: Generator[Action, Any, None]):
+        self.gen = gen
+        self._send: Any = None
+        self._started = False
+        self.actions_executed = 0
+
+    def run(self, ctx: ExecContext, start: float, deadline: float) -> RunOutcome:
+        t = start
+        while t < deadline:
+            try:
+                if not self._started:
+                    self._started = True
+                    action = next(self.gen)
+                else:
+                    action = self.gen.send(self._send)
+            except StopIteration:
+                return RunOutcome(t, exited=True)
+            cost, result, block = ctx.exec_action(action, t)
+            t += cost
+            self._send = result
+            self.actions_executed += 1
+            if block is not None:
+                if block.kind == "exit":
+                    return RunOutcome(t, exited=True)
+                return RunOutcome(t, block=block)
+        return RunOutcome(t)
+
+
+class ProgramBody(ThreadBody):
+    """A victim program replayed through the core."""
+
+    def __init__(self, program: Program, *, spec_window: Optional[int] = None):
+        self.program = program
+        #: None means "use the machine default"; 0 disables the smear.
+        self.spec_window = spec_window
+
+    def run(self, ctx: ExecContext, start: float, deadline: float) -> RunOutcome:
+        retired, end = ctx.core.run_program(
+            self.asid_of(ctx), self.program, start, deadline
+        )
+        if self.program.done:
+            return RunOutcome(end, exited=True)
+        return RunOutcome(end)
+
+    def on_preempted(self, ctx: ExecContext) -> None:
+        """Apply the speculative smear: issue cache effects for a few
+        instructions past the retirement boundary (Fig 5.1)."""
+        window = self.spec_window
+        if window is None:
+            window = ctx.draw_spec_window()
+        if window > 0:
+            ctx.core.speculate(self.asid_of(ctx), self.program, window)
+
+    @staticmethod
+    def asid_of(ctx: ExecContext) -> int:
+        return ctx.asid
+
+
+class ComputeBody(ThreadBody):
+    """Pure CPU burner; optional finite duration, else runs forever."""
+
+    def __init__(self, duration_ns: Optional[float] = None):
+        self.remaining = duration_ns
+
+    def run(self, ctx: ExecContext, start: float, deadline: float) -> RunOutcome:
+        window = deadline - start
+        if self.remaining is not None:
+            if self.remaining <= window:
+                end = start + self.remaining
+                self.remaining = 0.0
+                return RunOutcome(end, exited=True)
+            self.remaining -= window
+        return RunOutcome(deadline)

@@ -1,0 +1,45 @@
+"""§6 mitigations, each expressed as a system configuration.
+
+The defences are configuration, not new mechanism — which is the
+paper's point: the primitive exploits default scheduler policy, and the
+counter-measures are policy/SGX knobs with real costs:
+
+* :func:`no_wakeup_preemption` — the Linux security team's recommended
+  setting; removes Eq 2.2 entirely (responsiveness cost).
+* :func:`min_scheduling_interval` — Varadarajan-et-al-style guard: a
+  wakeup may only preempt a thread that has run at least this long.
+* :func:`aex_notify` — Constable et al.'s SGX co-design: a trusted
+  prefetch handler guarantees enclave forward progress per resume.
+
+:func:`repro.experiments.mitigations.evaluate_mitigations` measures all
+of them with the standard characterization harness.
+"""
+
+from repro.experiments.mitigations import MitigationResult, evaluate_mitigations
+from repro.kernel.kernel import KernelConfig
+from repro.sched.features import SchedFeatures
+
+
+def no_wakeup_preemption() -> SchedFeatures:
+    """Scheduler features with NO_WAKEUP_PREEMPTION set."""
+    return SchedFeatures.no_wakeup_preemption()
+
+
+def min_scheduling_interval(interval_ns: float) -> SchedFeatures:
+    """Scheduler features enforcing a minimum interval before wakeup
+    preemption may land."""
+    return SchedFeatures.min_slice_guard(interval_ns)
+
+
+def aex_notify(depth: int = 80) -> KernelConfig:
+    """Kernel config with the AEX-Notify prefetch handler enabled."""
+    return KernelConfig(aex_notify_depth=depth)
+
+
+__all__ = [
+    "MitigationResult",
+    "evaluate_mitigations",
+    "no_wakeup_preemption",
+    "min_scheduling_interval",
+    "aex_notify",
+]

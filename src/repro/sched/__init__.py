@@ -1,0 +1,31 @@
+"""Thread-scheduler substrate: Linux CFS and EEVDF models.
+
+The attack exploits scheduler *policy*, so this package implements the
+policies the paper analyses, with the exact parameterization of
+Table 2.1:
+
+* :mod:`repro.sched.params` — sysctl values derived from the core count
+  (``S_bnd``, ``S_min``, ``S_slack``, ``S_preempt``).
+* :mod:`repro.sched.task` — task state and the kernel's nice→weight
+  table (vruntime increment rate ρ of §2.1).
+* :mod:`repro.sched.cfs` — the three CFS scenarios of §2.1, including
+  wakeup placement (Eq 2.1) and wakeup preemption (Eq 2.2).
+* :mod:`repro.sched.eevdf` — eligibility + earliest-virtual-deadline
+  selection with lag-preserving wakeup placement (§4.5).
+* :mod:`repro.sched.loadbalance` — idle-pull load balancing, the lever
+  for the §4.4 colocation technique.
+"""
+
+from repro.sched.features import SchedFeatures
+from repro.sched.params import SchedParams
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task, TaskState, nice_to_weight
+
+__all__ = [
+    "SchedFeatures",
+    "SchedParams",
+    "RunQueue",
+    "Task",
+    "TaskState",
+    "nice_to_weight",
+]

@@ -1,0 +1,69 @@
+"""Common interface both scheduling policies implement.
+
+The kernel calls into the policy at exactly the points real Linux does:
+
+* ``charge``          — account executed time to the current task
+                        (``update_curr``).
+* ``place_waking``    — assign a vruntime to a task leaving the
+                        waitqueue (Scenario 2 placement).
+* ``wants_wakeup_preempt`` — should the waking task preempt the current
+                        one right now?  (Eq 2.2 / EEVDF pick.)
+* ``tick_preempt``    — periodic-tick check on the current task
+                        (Scenario 1).
+* ``pick_next``       — choose the next task from the runqueue.
+* ``on_dequeue_sleep``— bookkeeping when a task blocks (Scenario 3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.sched.features import SchedFeatures
+from repro.sched.params import SchedParams
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task
+
+
+class SchedPolicy(ABC):
+    """One scheduling policy (CFS or EEVDF)."""
+
+    name: str = "base"
+
+    def __init__(self, params: SchedParams, features: Optional[SchedFeatures] = None):
+        self.params = params
+        self.features = features or SchedFeatures.default()
+
+    def charge(self, rq: RunQueue, task: Task, exec_ns: float) -> None:
+        """Account ``exec_ns`` of CPU time to ``task`` (update_curr)."""
+        if exec_ns < 0:
+            raise ValueError(f"negative exec time {exec_ns}")
+        task.vruntime += task.vruntime_delta(exec_ns)
+        task.sum_exec_runtime += exec_ns
+        task.slice_exec += exec_ns
+        rq.update_min_vruntime()
+
+    @abstractmethod
+    def place_waking(self, rq: RunQueue, task: Task) -> None:
+        """Set the vruntime of a task entering the runqueue from sleep."""
+
+    @abstractmethod
+    def place_initial(self, rq: RunQueue, task: Task) -> None:
+        """Set the vruntime of a newly forked task."""
+
+    @abstractmethod
+    def wants_wakeup_preempt(self, rq: RunQueue, curr: Task, wakee: Task) -> bool:
+        """True if ``wakee`` should immediately preempt ``curr``."""
+
+    @abstractmethod
+    def tick_preempt(self, rq: RunQueue, curr: Task) -> bool:
+        """True if the tick should deschedule ``curr`` (Scenario 1)."""
+
+    @abstractmethod
+    def pick_next(self, rq: RunQueue) -> Optional[Task]:
+        """Choose the next queued task (does not dequeue it)."""
+
+    def on_dequeue_sleep(self, rq: RunQueue, task: Task) -> None:
+        """Bookkeeping when ``task`` blocks; default records the
+        vruntime it slept at (right-hand argument of Eq 2.1)."""
+        task.last_sleep_vruntime = task.vruntime

@@ -1,0 +1,107 @@
+"""EEVDF scheduler model (paper §4.5, Linux 6.12-rc1).
+
+EEVDF selects, among *eligible* tasks (vruntime ≤ load-weighted average
+vruntime of the runqueue), the one with the earliest virtual deadline
+(``vruntime + vslice`` at the last deadline renewal).
+
+Wakeup placement grants a sleeping task its preserved lag back, capped
+at one weighted base slice.  The cap is the calibration point of this
+model: the paper does not dissect 6.12's place_entity/DELAY_DEQUEUE
+interaction (it explicitly leaves EEVDF internals to future work) and
+instead reports the *observable*: a hibernated attacker wakes with a
+vruntime deficit of roughly one base slice — they measure a median of
+219 repeated preemptions at I_attacker − I_victim ∈ [10, 15] µs, i.e. a
+budget of ≈ 2.7 ms ≈ the 3 ms base slice.  We therefore implement
+placement as ``vruntime = max(avg_vruntime − vslice, τ_sleep)`` — the
+EEVDF analogue of Eq 2.1 — which reproduces both the budget statistic
+and the Fig 4.7 resolution behaviour.
+
+Preemption on wakeup follows the kernel: the wakee preempts iff it is
+eligible and its deadline is earlier than the current task's (with
+RUN_TO_PARITY off, the 6.12-rc1 default path the paper exercised).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.base import SchedPolicy
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task
+
+
+class EevdfScheduler(SchedPolicy):
+    name = "eevdf"
+
+    # ------------------------------------------------------------------
+    # Slices and deadlines
+    # ------------------------------------------------------------------
+    def vslice(self, task: Task) -> float:
+        """The task's request size in virtual time (weighted base slice)."""
+        request = task.slice if task.slice > 0 else self.params.base_slice
+        return task.vruntime_delta(request)
+
+    def renew_deadline(self, task: Task) -> None:
+        task.deadline = task.vruntime + self.vslice(task)
+
+    def is_eligible(self, rq: RunQueue, task: Task) -> bool:
+        """Eligibility: vruntime not past the weighted average."""
+        return task.vruntime <= rq.avg_vruntime() + 1e-9
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place_waking(self, rq: RunQueue, task: Task) -> None:
+        if self.features.place_lag:
+            placed = max(rq.avg_vruntime() - self.vslice(task), task.last_sleep_vruntime)
+        else:
+            placed = max(rq.avg_vruntime(), task.last_sleep_vruntime)
+        task.vruntime = placed
+        self.renew_deadline(task)
+
+    def place_initial(self, rq: RunQueue, task: Task) -> None:
+        task.vruntime = max(task.vruntime, rq.avg_vruntime())
+        task.last_sleep_vruntime = task.vruntime
+        self.renew_deadline(task)
+
+    # ------------------------------------------------------------------
+    # Preemption decisions
+    # ------------------------------------------------------------------
+    def wants_wakeup_preempt(self, rq: RunQueue, curr: Task, wakee: Task) -> bool:
+        if not self.features.wakeup_preemption:
+            return False
+        if (
+            self.features.wakeup_min_slice_ns > 0
+            and curr.slice_exec < self.features.wakeup_min_slice_ns
+        ):
+            return False
+        if not self.is_eligible(rq, wakee):
+            return False
+        if self.features.run_to_parity and curr.vruntime < curr.deadline:
+            # Protect the current task up to its 0-lag point.
+            return False
+        return wakee.deadline < curr.deadline
+
+    def tick_preempt(self, rq: RunQueue, curr: Task) -> bool:
+        """Renew the deadline when the slice is consumed; deschedule if
+        another task then wins the EEVDF pick."""
+        if curr.vruntime >= curr.deadline:
+            self.renew_deadline(curr)
+        best = self._pick_among(rq, include_current=True)
+        return best is not None and best is not curr
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def pick_next(self, rq: RunQueue) -> Optional[Task]:
+        return self._pick_among(rq, include_current=False)
+
+    def _pick_among(self, rq: RunQueue, include_current: bool) -> Optional[Task]:
+        candidates = list(rq.queued)
+        if include_current and rq.current is not None:
+            candidates.append(rq.current)
+        if not candidates:
+            return None
+        eligible = [t for t in candidates if self.is_eligible(rq, t)]
+        pool = eligible or candidates  # nothing eligible → earliest deadline overall
+        return min(pool, key=lambda t: (t.deadline, t.vruntime, t.pid))

@@ -1,0 +1,46 @@
+"""Scheduler feature flags (the kernel's sched_features bitmask).
+
+Only the features the paper discusses are modelled:
+
+* ``WAKEUP_PREEMPTION`` — allows a waking thread to preempt the current
+  thread immediately (Eq 2.2).  Disabling it is the Linux security
+  team's recommended mitigation (``NO_WAKEUP_PREEMPTION``, §6): the
+  victim then completes its minimum time slice before the attacker
+  runs, collapsing the primitive.
+* ``GENTLE_FAIR_SLEEPERS`` — halves the vruntime lag granted to waking
+  threads (S_slack = S_bnd/2 instead of S_bnd; Table 2.1 footnote 2).
+* ``PLACE_LAG`` (EEVDF) — preserve a task's lag across sleep when
+  placing it back on the queue.
+* ``RUN_TO_PARITY`` (EEVDF) — on wakeup preemption checks, let the
+  current task finish to its 0-lag point first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SchedFeatures:
+    wakeup_preemption: bool = True
+    gentle_fair_sleepers: bool = True
+    place_lag: bool = True
+    run_to_parity: bool = False
+    #: Xen-style minimum scheduling interval (§6, Varadarajan et al.):
+    #: a waking thread may only preempt a current thread that has
+    #: already run this long.  0 disables the guard.
+    wakeup_min_slice_ns: float = 0.0
+
+    @classmethod
+    def default(cls) -> "SchedFeatures":
+        return cls()
+
+    @classmethod
+    def no_wakeup_preemption(cls) -> "SchedFeatures":
+        """The §6 mitigation configuration."""
+        return cls(wakeup_preemption=False)
+
+    @classmethod
+    def min_slice_guard(cls, min_slice_ns: float) -> "SchedFeatures":
+        """The §6 minimum-scheduling-interval mitigation."""
+        return cls(wakeup_min_slice_ns=min_slice_ns)

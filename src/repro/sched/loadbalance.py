@@ -1,0 +1,111 @@
+"""Load balancing and wake/fork CPU selection.
+
+Two mechanisms matter for the paper's §4.4 colocation technique:
+
+1. **Placement** (``select_cpu``): a newly invoked victim is placed on
+   the idlest allowed CPU.  With the attacker's N−1 pinned dummy
+   threads saturating every core but one, the victim lands on the one
+   idle core — the core the attacker then pins itself to.
+2. **Periodic balancing** (``balance``): idle CPUs pull waiting tasks
+   from the busiest runqueue.  Because the dummies are pinned, the
+   balancer finds no migratable task and the victim stays put for the
+   duration of the attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task
+
+#: Default balancing period; real kernels scale this with domain size,
+#: a fixed 4 ms is representative and keeps the model simple.
+BALANCE_INTERVAL_NS = 4_000_000
+
+
+@dataclass
+class Migration:
+    """Record of one task migration (for tests and traces)."""
+
+    task: Task
+    src_cpu: int
+    dst_cpu: int
+    time: float
+
+
+class LoadBalancer:
+    """Idle-pull balancer over a set of runqueues."""
+
+    def __init__(self, runqueues: List[RunQueue]):
+        self.runqueues = runqueues
+        self.migrations: List[Migration] = []
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def select_cpu(self, task: Task) -> int:
+        """Idlest allowed CPU for a waking/forked task.
+
+        Prefers a fully idle CPU; falls back to the lowest-load one.
+        Ties break toward the lowest CPU id (deterministic).
+        """
+        allowed = [
+            rq for rq in self.runqueues if task.can_run_on(rq.cpu)
+        ]
+        if not allowed:
+            raise ValueError(f"{task} has no allowed CPU")
+        idle = [rq for rq in allowed if rq.nr_running == 0]
+        if idle:
+            return idle[0].cpu
+        return min(allowed, key=lambda rq: (rq.load, rq.cpu)).cpu
+
+    # ------------------------------------------------------------------
+    # Periodic balancing
+    # ------------------------------------------------------------------
+    def balance(self, now: float) -> List[Migration]:
+        """One balancing pass: every idle CPU tries to pull one queued
+        (not running) task from the busiest overloaded runqueue.
+
+        Only *queued* tasks migrate — the running task is never pulled,
+        matching the kernel's default behaviour for busy balancing at
+        this granularity.  Pinned tasks are skipped.
+        """
+        performed: List[Migration] = []
+        for rq in self.runqueues:
+            if rq.nr_running > 0:
+                continue
+            donor = self._busiest(exclude=rq.cpu)
+            if donor is None:
+                continue
+            task = self._first_migratable(donor, rq.cpu)
+            if task is None:
+                continue
+            donor.remove(task)
+            rq.add(task)
+            task.migrations += 1
+            migration = Migration(task, donor.cpu, rq.cpu, now)
+            performed.append(migration)
+            self.migrations.append(migration)
+        return performed
+
+    def _busiest(self, exclude: int) -> Optional[RunQueue]:
+        # A donor must be genuinely overloaded (more runnable tasks than
+        # its one CPU) — otherwise an idle sibling would "pull" a task
+        # that another idle sibling just received, bouncing it around.
+        candidates = [
+            rq
+            for rq in self.runqueues
+            if rq.cpu != exclude and len(rq.queued) > 0 and rq.nr_running > 1
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda rq: (rq.load, -rq.cpu))
+
+    @staticmethod
+    def _first_migratable(rq: RunQueue, dst_cpu: int) -> Optional[Task]:
+        for task in rq.queued:
+            if task.can_run_on(dst_cpu):
+                return task
+        return None

@@ -1,0 +1,69 @@
+"""CFS/EEVDF tunables derived from the core count (paper Table 2.1).
+
+All values are nanoseconds.  The kernel scales its base values by
+``ν = min(log2(n_cores) + 1, 4)``; on the paper's 16-core machine ν = 4,
+giving S_bnd = 24 ms, S_min = 3 ms, S_slack = 12 ms, S_preempt = 4 ms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+NSEC_PER_MSEC = 1_000_000
+NSEC_PER_SEC = 1_000_000_000
+
+
+def scaling_factor(n_cores: int) -> int:
+    """ν = min(log2(#cores) + 1, 4) — the kernel's sched tunable scaling."""
+    if n_cores < 1:
+        raise ValueError("n_cores must be >= 1")
+    return min(int(math.log2(n_cores)) + 1, 4)
+
+
+@dataclass(frozen=True)
+class SchedParams:
+    """Scheduler tunables for one machine configuration.
+
+    ``s_bnd``      — sysctl_sched_latency: fair-scheduling invariant
+                     bound on the vruntime spread (Scenario 1).
+    ``s_min``      — sysctl_sched_min_granularity: minimum time slice
+                     enforced only in Scenario 1.
+    ``s_slack``    — maximum vruntime lag granted to a waking thread
+                     (Eq 2.1); S_bnd/2 under GENTLE_FAIR_SLEEPERS,
+                     S_bnd otherwise.
+    ``s_preempt``  — sysctl_sched_wakeup_granularity: wakeup preemption
+                     threshold (Eq 2.2).
+    ``tick``       — scheduler tick period (HZ=1000).
+    ``base_slice`` — EEVDF sysctl_sched_base_slice (default request
+                     size used for virtual deadlines).
+    """
+
+    s_bnd: int
+    s_min: int
+    s_slack: int
+    s_preempt: int
+    tick: int = NSEC_PER_MSEC
+    base_slice: int = 3 * NSEC_PER_MSEC
+
+    @classmethod
+    def for_cores(cls, n_cores: int, *, gentle_fair_sleepers: bool = True) -> "SchedParams":
+        """Derive Table 2.1's values for an ``n_cores`` machine."""
+        nu = scaling_factor(n_cores)
+        s_bnd = 6 * NSEC_PER_MSEC * nu
+        s_min = int(0.75 * NSEC_PER_MSEC * nu)
+        s_slack = s_bnd // 2 if gentle_fair_sleepers else s_bnd
+        s_preempt = 1 * NSEC_PER_MSEC * nu
+        base_slice = int(0.75 * NSEC_PER_MSEC * nu)
+        return cls(
+            s_bnd=s_bnd,
+            s_min=s_min,
+            s_slack=s_slack,
+            s_preempt=s_preempt,
+            base_slice=base_slice,
+        )
+
+    @property
+    def preemption_budget(self) -> int:
+        """The paper's S_slack − S_preempt budget (8 ms on 16 cores)."""
+        return self.s_slack - self.s_preempt

@@ -1,0 +1,55 @@
+"""Microarchitectural substrate: caches, TLBs, BTB, prefetch, timing.
+
+This package models the i9-9900K structures the paper's side channels
+exploit.  The model is behavioural, not cycle-accurate: each structure
+tracks presence/recency state (which lines, translations and branch
+targets are resident) and charges latencies from
+:mod:`repro.uarch.timing` so that an attacker timing its own accesses
+observes the same hit/miss separation the paper relies on.
+"""
+
+from repro.uarch.address import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE,
+    line_addr,
+    line_index,
+    page_number,
+    same_line,
+)
+from repro.uarch.btb import Btb, BtbEntry
+from repro.uarch.cache import CacheGeometry, CacheLevel, MemoryHierarchy
+from repro.uarch.eviction import (
+    build_cache_eviction_set,
+    build_llc_eviction_set,
+    build_tlb_eviction_set,
+)
+from repro.uarch.timing import (
+    CPU_FREQ_GHZ,
+    LATENCY,
+    cycles_to_ns,
+    ns_to_cycles,
+)
+from repro.uarch.tlb import Tlb, TlbHierarchy
+
+__all__ = [
+    "CACHE_LINE_SIZE",
+    "PAGE_SIZE",
+    "line_addr",
+    "line_index",
+    "page_number",
+    "same_line",
+    "Btb",
+    "BtbEntry",
+    "CacheGeometry",
+    "CacheLevel",
+    "MemoryHierarchy",
+    "build_cache_eviction_set",
+    "build_llc_eviction_set",
+    "build_tlb_eviction_set",
+    "CPU_FREQ_GHZ",
+    "LATENCY",
+    "cycles_to_ns",
+    "ns_to_cycles",
+    "Tlb",
+    "TlbHierarchy",
+]

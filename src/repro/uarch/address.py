@@ -1,0 +1,38 @@
+"""Address arithmetic shared by every microarchitectural structure.
+
+Addresses are plain Python integers (byte addresses in a flat virtual
+address space).  Each simulated thread owns a disjoint region of that
+space, so two threads never alias the same line unless they deliberately
+share a mapping (e.g. the attacker mapping the victim's T-table page for
+Flush+Reload).
+"""
+
+from __future__ import annotations
+
+CACHE_LINE_SIZE = 64
+PAGE_SIZE = 4096
+
+
+def line_addr(addr: int) -> int:
+    """Base address of the cache line containing ``addr``."""
+    return addr & ~(CACHE_LINE_SIZE - 1)
+
+
+def line_index(addr: int) -> int:
+    """Global line number of ``addr`` (address / 64)."""
+    return addr // CACHE_LINE_SIZE
+
+
+def page_number(addr: int) -> int:
+    """Virtual page number of ``addr`` (address / 4096)."""
+    return addr // PAGE_SIZE
+
+
+def same_line(a: int, b: int) -> bool:
+    """True when two addresses fall in the same cache line."""
+    return line_addr(a) == line_addr(b)
+
+
+def page_offset(addr: int) -> int:
+    """Offset of ``addr`` within its page."""
+    return addr & (PAGE_SIZE - 1)

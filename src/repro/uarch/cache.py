@@ -1,0 +1,227 @@
+"""Set-associative cache model with an inclusive shared LLC.
+
+The hierarchy mirrors the evaluated i9-9900K:
+
+* per-core L1I and L1D: 32 KiB, 8-way (64 sets)
+* per-core unified L2: 256 KiB, 4-way (1024 sets)
+* shared L3 (LLC): inclusive, 16-way; sized per
+  :class:`HierarchyGeometry` (default scaled down from 16 MiB to keep
+  simulations fast — set-index behaviour, which is all the attacks use,
+  is preserved for any power-of-two set count)
+
+Inclusivity matters: evicting a line from the LLC back-invalidates every
+private copy, which is exactly the mechanism the paper's §5.2 attack
+uses to both observe and *stall* the victim's instruction fetch from
+another cache level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.uarch.address import CACHE_LINE_SIZE, line_addr
+from repro.uarch.timing import LATENCY, LatencyModel
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of one cache level."""
+
+    n_sets: int
+    n_ways: int
+    line_size: int = CACHE_LINE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError(f"n_sets must be a power of two, got {self.n_sets}")
+        if self.n_ways < 1:
+            raise ValueError("n_ways must be >= 1")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_sets * self.n_ways * self.line_size
+
+    def set_index(self, addr: int) -> int:
+        """Cache set holding ``addr`` (physically-indexed approximation)."""
+        return (addr // self.line_size) & (self.n_sets - 1)
+
+
+@dataclass(frozen=True)
+class HierarchyGeometry:
+    """Shapes of all levels.  Defaults follow the i9-9900K, with the LLC
+    set count reduced (same associativity) so that eviction-set
+    experiments run quickly; attacks depend only on set indexing."""
+
+    l1i: CacheGeometry = field(default_factory=lambda: CacheGeometry(64, 8))
+    l1d: CacheGeometry = field(default_factory=lambda: CacheGeometry(64, 8))
+    l2: CacheGeometry = field(default_factory=lambda: CacheGeometry(1024, 4))
+    llc: CacheGeometry = field(default_factory=lambda: CacheGeometry(2048, 16))
+
+
+class CacheLevel:
+    """One set-associative, LRU cache level.
+
+    Lines are identified by their line address.  Each set is an ordered
+    list of line addresses, most-recently-used last.
+    """
+
+    def __init__(self, name: str, geometry: CacheGeometry):
+        self.name = name
+        self.geometry = geometry
+        self._sets: Dict[int, List[int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, line: int) -> List[int]:
+        idx = self.geometry.set_index(line)
+        bucket = self._sets.get(idx)
+        if bucket is None:
+            bucket = []
+            self._sets[idx] = bucket
+        return bucket
+
+    def lookup(self, addr: int, *, touch: bool = True) -> bool:
+        """True if the line holding ``addr`` is resident.
+
+        ``touch`` updates LRU order on hit (a probe that should not
+        perturb recency can pass ``touch=False``).
+        """
+        line = line_addr(addr)
+        bucket = self._set_for(line)
+        if line in bucket:
+            self.hits += 1
+            if touch:
+                bucket.remove(line)
+                bucket.append(line)
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Presence check with no statistics or LRU side effects."""
+        line = line_addr(addr)
+        return line in self._sets.get(self.geometry.set_index(line), ())
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Insert the line holding ``addr``; return the evicted line (or
+        None).  Filling an already-resident line just refreshes LRU."""
+        line = line_addr(addr)
+        bucket = self._set_for(line)
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return None
+        victim = None
+        if len(bucket) >= self.geometry.n_ways:
+            victim = bucket.pop(0)
+        bucket.append(line)
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr``.  Returns True if it was resident."""
+        line = line_addr(addr)
+        bucket = self._sets.get(self.geometry.set_index(line))
+        if bucket and line in bucket:
+            bucket.remove(line)
+            return True
+        return False
+
+    def resident_lines(self, set_index: int) -> Tuple[int, ...]:
+        """Lines currently resident in ``set_index`` (LRU → MRU order)."""
+        return tuple(self._sets.get(set_index, ()))
+
+    def flush_all(self) -> None:
+        self._sets.clear()
+
+
+class MemoryHierarchy:
+    """Per-core private caches plus one shared inclusive LLC.
+
+    ``access`` walks L1 → L2 → LLC → DRAM, fills every level on the way
+    back and returns the load-to-use latency in cycles.  ``clflush``
+    removes a line from the entire hierarchy (all cores), matching the
+    x86 instruction the Flush+Reload receiver uses.
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        geometry: Optional[HierarchyGeometry] = None,
+        latency: LatencyModel = LATENCY,
+    ):
+        self.geometry = geometry or HierarchyGeometry()
+        self.latency = latency
+        self.n_cores = n_cores
+        self.l1i = [CacheLevel(f"L1I#{c}", self.geometry.l1i) for c in range(n_cores)]
+        self.l1d = [CacheLevel(f"L1D#{c}", self.geometry.l1d) for c in range(n_cores)]
+        self.l2 = [CacheLevel(f"L2#{c}", self.geometry.l2) for c in range(n_cores)]
+        self.llc = CacheLevel("LLC", self.geometry.llc)
+
+    # ------------------------------------------------------------------
+    # Core access paths
+    # ------------------------------------------------------------------
+    def access(self, core: int, addr: int, kind: str = "data") -> int:
+        """Load/fetch ``addr`` from ``core``; returns latency in cycles.
+
+        ``kind`` is ``"data"`` or ``"inst"`` and selects the L1 slice.
+        """
+        l1 = self.l1d[core] if kind == "data" else self.l1i[core]
+        if l1.lookup(addr):
+            return self.latency.l1_hit
+        if self.l2[core].lookup(addr):
+            l1.fill(addr)
+            return self.latency.l2_hit
+        if self.llc.lookup(addr):
+            self._fill_private(core, l1, addr)
+            return self.latency.llc_hit
+        # DRAM: fill inclusive LLC first, back-invalidating on eviction.
+        evicted = self.llc.fill(addr)
+        if evicted is not None:
+            self._back_invalidate(evicted)
+        self._fill_private(core, l1, addr)
+        return self.latency.dram
+
+    def prefetch(self, core: int, addr: int, kind: str = "inst") -> None:
+        """Bring a line in without charging the requester (BTB-driven
+        target prefetch, next-line prefetch)."""
+        self.access(core, addr, kind=kind)
+
+    def clflush(self, addr: int) -> None:
+        """Flush one line from every cache in the system."""
+        self.llc.invalidate(addr)
+        for c in range(self.n_cores):
+            self.l1i[c].invalidate(addr)
+            self.l1d[c].invalidate(addr)
+            self.l2[c].invalidate(addr)
+
+    def is_cached_anywhere(self, addr: int) -> bool:
+        """Presence probe used by tests and oracles (no side effects)."""
+        if self.llc.contains(addr):
+            return True
+        return any(
+            self.l1i[c].contains(addr)
+            or self.l1d[c].contains(addr)
+            or self.l2[c].contains(addr)
+            for c in range(self.n_cores)
+        )
+
+    def flush_core_private(self, core: int) -> None:
+        """Drop all private-cache state of one core (used by tests)."""
+        self.l1i[core].flush_all()
+        self.l1d[core].flush_all()
+        self.l2[core].flush_all()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fill_private(self, core: int, l1: CacheLevel, addr: int) -> None:
+        self.l2[core].fill(addr)
+        l1.fill(addr)
+
+    def _back_invalidate(self, line: int) -> None:
+        """Inclusive LLC eviction: purge the line from all private caches."""
+        for c in range(self.n_cores):
+            self.l1i[c].invalidate(line)
+            self.l1d[c].invalidate(line)
+            self.l2[c].invalidate(line)

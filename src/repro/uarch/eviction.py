@@ -1,0 +1,92 @@
+"""Eviction-set construction.
+
+The paper builds eviction sets twice: for the two TLB levels (Gras et
+al.'s technique, used by the §4.3 performance degradation) and for LLC
+sets (used by the §5.2 Prime+Probe attack and its instruction-stall
+trick).  Real attacks discover congruent addresses by timing; here the
+simulator knows the indexing functions, so construction is direct —
+the *use* of the sets (contention, probing) is what the experiments
+exercise.
+
+All returned addresses are carved out of the caller-supplied arena so
+they live in the attacker's own address space and never alias victim
+data.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.uarch.address import CACHE_LINE_SIZE, PAGE_SIZE, page_number
+from repro.uarch.cache import CacheGeometry
+from repro.uarch.tlb import TlbGeometry
+
+
+def build_cache_eviction_set(
+    geometry: CacheGeometry,
+    target_addr: int,
+    arena_base: int,
+    n_lines: int = 0,
+) -> List[int]:
+    """Addresses in ``arena`` congruent to ``target_addr`` in ``geometry``.
+
+    ``n_lines`` defaults to the associativity (the minimum that can
+    evict).  Addresses are spaced one full cache "period" apart
+    (``n_sets * line_size``), the classic congruent stride.
+    """
+    if n_lines <= 0:
+        n_lines = geometry.n_ways
+    period = geometry.n_sets * geometry.line_size
+    target_set = geometry.set_index(target_addr)
+    # Align the arena base to the cache period, then add the set offset.
+    base = (arena_base + period - 1) // period * period
+    first = base + target_set * geometry.line_size
+    addrs = [first + i * period for i in range(n_lines)]
+    assert all(geometry.set_index(a) == target_set for a in addrs)
+    return addrs
+
+
+def build_llc_eviction_set(
+    llc_geometry: CacheGeometry,
+    target_addr: int,
+    arena_base: int,
+    extra_ways: int = 0,
+) -> List[int]:
+    """LLC eviction set of ``associativity + extra_ways`` lines.
+
+    Probe sets must use ``extra_ways=0`` (an over-full set evicts its
+    own members and reads as a permanent miss); stall-only sets may
+    over-provision for robustness.
+    """
+    return build_cache_eviction_set(
+        llc_geometry, target_addr, arena_base, llc_geometry.n_ways + extra_ways
+    )
+
+
+def build_tlb_eviction_set(
+    geometry: TlbGeometry,
+    target_addr: int,
+    arena_base: int,
+    n_pages: int = 0,
+) -> List[int]:
+    """Page addresses congruent to ``target_addr``'s VPN in one TLB level.
+
+    Returns one address per page (page-aligned); touching (executing
+    from, for the iTLB) each page inserts a translation in the target's
+    set, evicting the victim entry once ``n_ways`` distinct pages have
+    been inserted.
+    """
+    if n_pages <= 0:
+        n_pages = geometry.n_ways
+    target_set = geometry.set_index(page_number(target_addr))
+    base_vpn = page_number(arena_base) + geometry.n_sets  # clear of the base page
+    # First congruent VPN at or after base_vpn.
+    first_vpn = base_vpn + (target_set - base_vpn) % geometry.n_sets
+    vpns = [first_vpn + i * geometry.n_sets for i in range(n_pages)]
+    assert all(geometry.set_index(v) == target_set for v in vpns)
+    return [v * PAGE_SIZE for v in vpns]
+
+
+def distinct_lines(addrs: List[int]) -> int:
+    """Number of distinct cache lines covered by ``addrs`` (test helper)."""
+    return len({a // CACHE_LINE_SIZE for a in addrs})

@@ -1,0 +1,81 @@
+"""Latency model calibrated to public Coffee Lake (i9-9900K) figures.
+
+All microarchitectural latencies are expressed in core cycles.  The
+conversion constant :data:`CPU_FREQ_GHZ` turns cycles into the
+nanoseconds used by the scheduler/kernel layers.
+
+The exact values matter less than their *separation*: every attack in
+the paper only needs hit and miss latencies to be distinguishable by a
+timed load, and every resolution experiment only needs the ratio between
+per-instruction cost and kernel scheduling overhead to be realistic.
+The constants below sit within published measurement ranges for the
+evaluated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Nominal core clock of the evaluated i9-9900K (all-core turbo region).
+CPU_FREQ_GHZ = 3.6
+
+
+def cycles_to_ns(cycles: float) -> float:
+    """Convert core cycles to nanoseconds."""
+    return cycles / CPU_FREQ_GHZ
+
+
+def ns_to_cycles(ns: float) -> float:
+    """Convert nanoseconds to core cycles."""
+    return ns * CPU_FREQ_GHZ
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Load-to-use latencies (cycles) for each level of the hierarchy."""
+
+    l1_hit: int = 4
+    l2_hit: int = 14
+    llc_hit: int = 44
+    dram: int = 220
+
+    # TLB path.  An L1 TLB hit is folded into the pipeline (zero extra
+    # cost); an STLB hit and a full page walk are exposed.
+    stlb_hit: int = 9
+    page_walk: int = 140
+
+    # Instruction execution baseline: a simple ALU op / NOP retires at
+    # one per cycle once fetched.
+    base_inst: int = 1
+
+    # Misc. instruction costs.
+    rdtscp: int = 32
+    clflush: int = 40
+    lfence: int = 12
+    branch_mispredict: int = 18
+
+    # Frontend/pipeline refill charged to the first instruction retired
+    # after a context switch (cold BPU, empty fetch/decode queues).
+    pipeline_refill: int = 60
+
+    # Post-switch warm-up: the next ``frontend_warmup_insts`` retired
+    # instructions each pay ``frontend_warmup_extra`` cycles (cold
+    # branch predictors, µop cache and fetch queues hold IPC well below
+    # 1 for the first dozens of instructions after a resume).  This is
+    # what stretches the small-instruction-count region of the §4.3
+    # histograms across the wake-up jitter.
+    frontend_warmup_insts: int = 12
+    frontend_warmup_extra: int = 10
+
+    def hit_threshold(self) -> int:
+        """Cycle threshold separating an LLC/L1 hit from a DRAM miss.
+
+        Used by receivers to turn a timed reload into a hit/miss bit.
+        Placed between ``llc_hit`` and ``dram`` with margin for the
+        timing jitter the simulator injects.
+        """
+        return (self.llc_hit + self.dram) // 2
+
+
+#: The default latency model used everywhere unless a test overrides it.
+LATENCY = LatencyModel()

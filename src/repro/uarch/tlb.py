@@ -1,0 +1,153 @@
+"""Two-level TLB model (per-core L1 iTLB + unified STLB).
+
+Entries are tagged ``(asid, vpn)`` — the attacker can never *hit* on a
+victim translation, but it can *evict* one through set contention, which
+is precisely the Gras et al. technique the paper's §4.3 performance
+degradation uses.  An SGX AEX event flushes the whole structure
+(:meth:`TlbHierarchy.flush_all`), which is why the paper's SGX attack
+needs no explicit iTLB eviction.
+
+Set indexing follows the linear-indexing results of Gras et al.: the set
+is ``vpn mod n_sets``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.uarch.address import page_number
+from repro.uarch.timing import LATENCY, LatencyModel
+
+Tag = Tuple[int, int]  # (asid, vpn)
+
+_HUGE_PAGE_SIZE = 2 * 1024 * 1024
+_HUGE_VPN_BASE = 1 << 48  # disjoint from any 4 KiB VPN
+
+
+@dataclass(frozen=True)
+class TlbGeometry:
+    """Shape of one TLB level (defaults: Coffee Lake iTLB and STLB)."""
+
+    n_sets: int
+    n_ways: int
+
+    def set_index(self, vpn: int) -> int:
+        return vpn % self.n_sets
+
+    @property
+    def n_entries(self) -> int:
+        return self.n_sets * self.n_ways
+
+
+class Tlb:
+    """One set-associative LRU TLB level with (asid, vpn) tags."""
+
+    def __init__(self, name: str, geometry: TlbGeometry):
+        self.name = name
+        self.geometry = geometry
+        self._sets: Dict[int, List[Tag]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, asid: int, vpn: int, *, touch: bool = True) -> bool:
+        bucket = self._sets.get(self.geometry.set_index(vpn))
+        tag = (asid, vpn)
+        if bucket and tag in bucket:
+            self.hits += 1
+            if touch:
+                bucket.remove(tag)
+                bucket.append(tag)
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, asid: int, vpn: int) -> bool:
+        bucket = self._sets.get(self.geometry.set_index(vpn))
+        return bool(bucket) and (asid, vpn) in bucket
+
+    def fill(self, asid: int, vpn: int) -> None:
+        idx = self.geometry.set_index(vpn)
+        bucket = self._sets.setdefault(idx, [])
+        tag = (asid, vpn)
+        if tag in bucket:
+            bucket.remove(tag)
+        elif len(bucket) >= self.geometry.n_ways:
+            bucket.pop(0)
+        bucket.append(tag)
+
+    def invalidate(self, asid: int, vpn: int) -> bool:
+        bucket = self._sets.get(self.geometry.set_index(vpn))
+        tag = (asid, vpn)
+        if bucket and tag in bucket:
+            bucket.remove(tag)
+            return True
+        return False
+
+    def flush_all(self) -> None:
+        self._sets.clear()
+
+
+class TlbHierarchy:
+    """Per-core iTLB + unified STLB with i9-9900K-like shapes.
+
+    The data-side L1 TLB is not modelled separately: the paper only
+    degrades *instruction* translations, and data loads reuse the STLB
+    path, which is enough for every experiment.
+    """
+
+    # Coffee Lake: 64-entry 8-way iTLB; 1536-entry 12-way STLB.
+    ITLB = TlbGeometry(n_sets=8, n_ways=8)
+    STLB = TlbGeometry(n_sets=128, n_ways=12)
+
+    def __init__(self, n_cores: int, latency: LatencyModel = LATENCY):
+        self.latency = latency
+        self.itlb = [Tlb(f"iTLB#{c}", self.ITLB) for c in range(n_cores)]
+        self.stlb = [Tlb(f"STLB#{c}", self.STLB) for c in range(n_cores)]
+
+    def translate_fetch(self, core: int, asid: int, addr: int) -> int:
+        """Translate an instruction fetch; returns extra cycles."""
+        vpn = page_number(addr)
+        if self.itlb[core].lookup(asid, vpn):
+            return 0
+        if self.stlb[core].lookup(asid, vpn):
+            self.itlb[core].fill(asid, vpn)
+            return self.latency.stlb_hit
+        self.stlb[core].fill(asid, vpn)
+        self.itlb[core].fill(asid, vpn)
+        return self.latency.page_walk
+
+    def translate_data(
+        self, core: int, asid: int, addr: int, *, huge: bool = False
+    ) -> int:
+        """Translate a data access; returns extra cycles.
+
+        Data translations hit the STLB directly in this model (see class
+        docstring); a miss costs a page walk.  ``huge`` maps the access
+        through a 2 MiB page (MAP_HUGETLB buffers — standard practice
+        for eviction-set arenas, whose lines are spread one LLC period
+        apart and would otherwise thrash the 4 KiB STLB and drown the
+        probe timing in page-walk latency).
+        """
+        if huge:
+            # Tag huge translations in a disjoint VPN namespace.
+            vpn = _HUGE_VPN_BASE + addr // _HUGE_PAGE_SIZE
+        else:
+            vpn = page_number(addr)
+        if self.stlb[core].lookup(asid, vpn):
+            return 0
+        self.stlb[core].fill(asid, vpn)
+        return self.latency.page_walk
+
+    def flush_core(self, core: int) -> None:
+        """Flush both levels on one core (SGX AEX, or full CR3 switch
+        without PCID)."""
+        self.itlb[core].flush_all()
+        self.stlb[core].flush_all()
+
+    def holds_fetch_translation(self, core: int, asid: int, addr: int) -> bool:
+        """Non-destructive check used by tests and the degradation code."""
+        vpn = page_number(addr)
+        return self.itlb[core].contains(asid, vpn) or self.stlb[core].contains(
+            asid, vpn
+        )

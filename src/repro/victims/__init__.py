@@ -1,0 +1,41 @@
+"""Victim programs: every workload the paper attacks, from scratch.
+
+* :mod:`repro.victims.aes_ttable` — OpenSSL-style T-table AES-128
+  (FIPS-197-verified) for the §5.1 Flush+Reload attack.
+* :mod:`repro.victims.base64_lut` — OpenSSL EVP_DecodeUpdate-style
+  base64 decoder with its two-line LUT for the §5.2 SGX attack.
+* :mod:`repro.victims.gcd` — mbedTLS-style binary GCD with its
+  secret-dependent branch for the §5.3 BTB attack.
+* :mod:`repro.victims.rsa` — RSA key generation + PKCS#1 DER + PEM
+  (the §5.2 workload's input data).
+* :mod:`repro.victims.sgx` — enclave wrapper (AEX/ERESUME semantics).
+* the §4.3 straight-line resolution victim lives in
+  :class:`repro.cpu.program.StraightlineProgram` and is re-exported
+  here.
+"""
+
+from repro.cpu.program import StraightlineProgram
+from repro.victims.aes_ttable import (
+    TTableAes,
+    build_aes_program,
+    ttable_line_addrs,
+)
+from repro.victims.base64_lut import build_decode_program, decode as base64_decode
+from repro.victims.gcd import binary_gcd_trace, build_gcd_program
+from repro.victims.rsa import generate_rsa_key, pem_base64_body, pem_encode
+from repro.victims.sgx import make_enclave_task
+
+__all__ = [
+    "StraightlineProgram",
+    "TTableAes",
+    "build_aes_program",
+    "ttable_line_addrs",
+    "build_decode_program",
+    "base64_decode",
+    "binary_gcd_trace",
+    "build_gcd_program",
+    "generate_rsa_key",
+    "pem_base64_body",
+    "pem_encode",
+    "make_enclave_task",
+]

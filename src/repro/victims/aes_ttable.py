@@ -1,0 +1,229 @@
+"""T-table AES-128 (the §5.1 victim).
+
+This is a complete, correct AES-128 implementation in the OpenSSL
+T-table style: four 256×4-byte tables ``Te0..Te3`` drive the nine main
+rounds; the final round uses the S-box directly.  Correctness is
+checked against the FIPS-197 example vectors in the test suite.
+
+Besides plain encryption, :meth:`TTableAes.encrypt_trace` records every
+T-table access ``(round, table, index)`` in execution order, and
+:func:`build_aes_program` lowers one encryption to an instruction trace
+whose loads hit the exact simulated T-table addresses — the victim the
+Flush+Reload attacker observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cpu.isa import Instruction, InstrKind
+from repro.cpu.program import TraceProgram
+from repro.victims.layout import TTABLE_BASE, VICTIM_TEXT_BASE
+
+# ----------------------------------------------------------------------
+# AES primitives
+# ----------------------------------------------------------------------
+SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _build_tables() -> Tuple[List[int], List[int], List[int], List[int]]:
+    """Build Te0..Te3 exactly as OpenSSL/aes_core.c does."""
+    te0, te1, te2, te3 = [], [], [], []
+    for x in range(256):
+        s = SBOX[x]
+        s2 = _xtime(s)
+        s3 = s2 ^ s
+        te0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+        te1.append((s3 << 24) | (s2 << 16) | (s << 8) | s)
+        te2.append((s << 24) | (s3 << 16) | (s2 << 8) | s)
+        te3.append((s << 24) | (s << 16) | (s3 << 8) | s2)
+    return te0, te1, te2, te3
+
+
+TE0, TE1, TE2, TE3 = _build_tables()
+TABLES = (TE0, TE1, TE2, TE3)
+
+#: Byte positions of the state consumed by each table in every round:
+#: column c of round r+1 reads T0[x4c], T1[x4c+5 mod 16], T2[x4c+10],
+#: T3[x4c+15] — the indices of §5.1's equations.
+TABLE_BYTE_POSITIONS = (
+    (0, 4, 8, 12),  # T0 reads x0, x4, x8, x12 (in column order)
+    (5, 9, 13, 1),  # T1
+    (10, 14, 2, 6),  # T2
+    (15, 3, 7, 11),  # T3
+)
+
+#: One T-table access record: (round, table, index).
+Access = Tuple[int, int, int]
+
+
+def expand_key(key: bytes) -> List[int]:
+    """AES-128 key schedule → 44 round-key words."""
+    if len(key) != 16:
+        raise ValueError("AES-128 needs a 16-byte key")
+    words = [int.from_bytes(key[4 * i: 4 * i + 4], "big") for i in range(4)]
+    for i in range(4, 44):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF  # RotWord
+            temp = (
+                (SBOX[(temp >> 24) & 0xFF] << 24)
+                | (SBOX[(temp >> 16) & 0xFF] << 16)
+                | (SBOX[(temp >> 8) & 0xFF] << 8)
+                | SBOX[temp & 0xFF]
+            )
+            temp ^= RCON[i // 4 - 1] << 24
+        words.append(words[i - 4] ^ temp)
+    return words
+
+
+@dataclass
+class TraceResult:
+    ciphertext: bytes
+    accesses: List[Access]
+
+    def first_round_accesses(self) -> List[Access]:
+        return [a for a in self.accesses if a[0] == 0]
+
+
+class TTableAes:
+    """AES-128 encryption via T-table lookups."""
+
+    def __init__(self, key: bytes):
+        self.key = key
+        self.round_keys = expand_key(key)
+
+    # ------------------------------------------------------------------
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return self.encrypt_trace(plaintext).ciphertext
+
+    def encrypt_trace(self, plaintext: bytes) -> TraceResult:
+        """Encrypt one block, recording every T-table access in order."""
+        if len(plaintext) != 16:
+            raise ValueError("AES block is 16 bytes")
+        rk = self.round_keys
+        accesses: List[Access] = []
+        state = [
+            int.from_bytes(plaintext[4 * i: 4 * i + 4], "big") ^ rk[i]
+            for i in range(4)
+        ]
+        for rnd in range(9):
+            new_state = []
+            for col in range(4):
+                i0 = (state[col] >> 24) & 0xFF
+                i1 = (state[(col + 1) % 4] >> 16) & 0xFF
+                i2 = (state[(col + 2) % 4] >> 8) & 0xFF
+                i3 = state[(col + 3) % 4] & 0xFF
+                accesses.append((rnd, 0, i0))
+                accesses.append((rnd, 1, i1))
+                accesses.append((rnd, 2, i2))
+                accesses.append((rnd, 3, i3))
+                new_state.append(
+                    TE0[i0] ^ TE1[i1] ^ TE2[i2] ^ TE3[i3] ^ rk[4 * (rnd + 1) + col]
+                )
+            state = new_state
+        # Final round: SubBytes + ShiftRows + AddRoundKey via the S-box.
+        out = []
+        for col in range(4):
+            b0 = SBOX[(state[col] >> 24) & 0xFF]
+            b1 = SBOX[(state[(col + 1) % 4] >> 16) & 0xFF]
+            b2 = SBOX[(state[(col + 2) % 4] >> 8) & 0xFF]
+            b3 = SBOX[state[(col + 3) % 4] & 0xFF]
+            word = ((b0 << 24) | (b1 << 16) | (b2 << 8) | b3) ^ rk[40 + col]
+            out.append(word)
+        ciphertext = b"".join(w.to_bytes(4, "big") for w in out)
+        return TraceResult(ciphertext, accesses)
+
+    # ------------------------------------------------------------------
+    def first_round_upper_nibbles(self, plaintext: bytes) -> List[int]:
+        """Ground truth the attack tries to recover: the upper nibble of
+        each first-round index x_i = p_i ⊕ k_i."""
+        return [(plaintext[i] ^ self.key[i]) >> 4 for i in range(16)]
+
+
+# ----------------------------------------------------------------------
+# Lowering to an instruction trace
+# ----------------------------------------------------------------------
+TTABLE_STRIDE = 1024  # 256 entries × 4 bytes, contiguous tables
+
+
+def ttable_entry_addr(table: int, index: int) -> int:
+    return TTABLE_BASE + table * TTABLE_STRIDE + index * 4
+
+
+def ttable_line_addrs(table: int) -> List[int]:
+    """The 16 line addresses of one T-table (what Flush+Reload maps)."""
+    base = TTABLE_BASE + table * TTABLE_STRIDE
+    return [base + line * 64 for line in range(16)]
+
+
+def build_aes_program(
+    aes: TTableAes,
+    plaintext: bytes,
+    *,
+    nops_between_accesses: int = 3,
+    text_base: int = VICTIM_TEXT_BASE,
+) -> TraceProgram:
+    """Lower one AES encryption to a victim instruction trace.
+
+    Each T-table lookup becomes a LOAD at the table-entry address,
+    separated by the XOR/shift arithmetic of the round function
+    (``nops_between_accesses`` plain instructions — ~7–8 cycles per
+    lookup, matching the paper's ~120-cycle rounds).
+    """
+    trace = aes.encrypt_trace(plaintext)
+    insts: List[Instruction] = []
+    pc = text_base
+    for _ in range(4):  # prologue: load plaintext/key pointers
+        insts.append(Instruction(pc=pc, kind=InstrKind.NOP))
+        pc += 4
+    for access_number, (rnd, table, index) in enumerate(trace.accesses):
+        insts.append(
+            Instruction(
+                pc=pc,
+                kind=InstrKind.LOAD,
+                mem_addr=ttable_entry_addr(table, index),
+                label=f"r{rnd}:t{table}:n{access_number}",
+            )
+        )
+        pc += 4
+        for _ in range(nops_between_accesses):
+            insts.append(Instruction(pc=pc, kind=InstrKind.NOP))
+            pc += 4
+    for _ in range(8):  # epilogue: final round + output stores
+        insts.append(Instruction(pc=pc, kind=InstrKind.NOP))
+        pc += 4
+    return TraceProgram(insts, name="aes-ttable")

@@ -1,0 +1,202 @@
+"""OpenSSL-style base64 decoder (the §5.2 victim).
+
+``EVP_DecodeUpdate`` processes input in groups of 64 characters.  For
+each group it first runs a *validity loop* — one LUT lookup per
+character to check it is a legal base64 byte — and then a *decode loop*
+translating quartets of characters into three output bytes, again via
+the LUT.  Both loops index the 128-byte LUT with the character's ASCII
+code; since the LUT spans two cache lines, each lookup leaks one bit of
+the character (ASCII < 64 → line 0, ≥ 64 → line 1), which combined
+with RSA-cryptanalysis recovers PEM-encoded private keys (Sieck et
+al.).
+
+:func:`build_decode_program` lowers a decode run to an instruction
+trace with the validity-loop load at a *fixed* PC (it is one
+instruction in a loop), which is what lets the attacker both stall and
+fingerprint the validity loop with a single LLC eviction set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cpu.isa import Instruction, InstrKind
+from repro.cpu.program import TraceProgram
+from repro.victims.layout import BASE64_LUT_BASE, VICTIM_DATA_BASE, VICTIM_TEXT_BASE
+
+B64_ALPHABET = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+)
+
+#: conv_ascii2bin equivalent: ASCII → 6-bit value, 0xFF = invalid,
+#: 0xF8..0xFA markers for '=', '\n', '\r' as in OpenSSL (we only need
+#: invalid-vs-valid and the value).
+LUT_SIZE = 128
+
+
+def _build_lut() -> List[int]:
+    lut = [0xFF] * LUT_SIZE
+    for value, char in enumerate(B64_ALPHABET):
+        lut[ord(char)] = value
+    lut[ord("=")] = 0x00  # padding decodes to zero bits
+    lut[ord("\n")] = 0xF8
+    lut[ord("\r")] = 0xF8
+    return lut
+
+
+LUT = _build_lut()
+
+GROUP_CHARS = 64  # EVP_DecodeUpdate chunk size
+
+
+def lut_addr(char: str) -> int:
+    return BASE64_LUT_BASE + ord(char)
+
+
+def lut_line_of(char: str) -> int:
+    """Which of the two LUT cache lines a character's lookup touches."""
+    return 0 if ord(char) < 64 else 1
+
+
+def lut_line_addrs() -> List[int]:
+    return [BASE64_LUT_BASE, BASE64_LUT_BASE + 64]
+
+
+def ground_truth_lines(text: str) -> List[int]:
+    """Per-character LUT line — what a perfect attacker recovers."""
+    return [lut_line_of(c) for c in text]
+
+
+def decode(text: str) -> bytes:
+    """Reference decoder (validated against the stdlib in tests)."""
+    clean = [c for c in text if c not in "\r\n"]
+    out = bytearray()
+    accum = 0
+    bits = 0
+    pad = 0
+    for char in clean:
+        code = ord(char)
+        if code >= LUT_SIZE or LUT[code] == 0xFF:
+            raise ValueError(f"invalid base64 character {char!r}")
+        if char == "=":
+            pad += 1
+            accum = (accum << 6) & 0xFFFFFF
+        else:
+            if pad:
+                raise ValueError("data after padding")
+            accum = (accum << 6) | LUT[code]
+        bits += 6
+        if bits == 24:
+            out.extend(accum.to_bytes(3, "big"))
+            accum = 0
+            bits = 0
+    if bits:
+        raise ValueError("truncated base64 input")
+    if pad:
+        del out[-pad:]
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# Program lowering
+# ----------------------------------------------------------------------
+#: Fixed PCs of the two loops.  They sit on distinct instruction lines
+#: so the attacker can tell the loops apart by which code line is being
+#: fetched (Fig 5.2's grey/white regions).
+VALIDITY_LOOP_PC = VICTIM_TEXT_BASE + 0x100
+DECODE_LOOP_PC = VICTIM_TEXT_BASE + 0x300
+
+
+@dataclass
+class DecodeProgramInfo:
+    """The lowered program plus the addresses an attacker targets."""
+
+    program: TraceProgram
+    validity_load_pc: int  # instruction line to stall/fingerprint
+    lut_lines: List[int]
+    ground_truth: List[int]  # per-character LUT line
+    char_count: int
+
+
+def build_decode_program(
+    text: str,
+    *,
+    lvi_mitigated: bool = True,
+    nops_per_char: int = 4,
+    group_chars: int = GROUP_CHARS,
+) -> DecodeProgramInfo:
+    """Lower a full EVP_DecodeUpdate-style run over ``text``.
+
+    ``lvi_mitigated`` marks every load with a trailing ``lfence``
+    (MITIGATION-CVE2020-0551=LOAD), which both slows the victim and
+    suppresses speculative smear — the configuration the paper copies
+    from Sieck et al. to reduce measurement noise.
+    """
+    chars = [c for c in text if c not in "\r\n"]
+    insts: List[Instruction] = []
+    out_addr = VICTIM_DATA_BASE
+
+    for group_start in range(0, len(chars), group_chars):
+        group = chars[group_start: group_start + group_chars]
+        # --- validity loop: one LUT lookup per character -------------
+        for offset, char in enumerate(group):
+            pc = VALIDITY_LOOP_PC
+            insts.append(
+                Instruction(
+                    pc=pc,
+                    kind=InstrKind.LOAD,
+                    mem_addr=lut_addr(char),
+                    fenced=lvi_mitigated,
+                    label=f"validity:{group_start + offset}",
+                )
+            )
+            for k in range(nops_per_char):
+                insts.append(Instruction(pc=pc + 4 + 4 * k, kind=InstrKind.NOP))
+            insts.append(
+                Instruction(
+                    pc=pc + 4 + 4 * nops_per_char,
+                    kind=InstrKind.BRANCH,
+                    target=pc,
+                    taken=offset != len(group) - 1,
+                )
+            )
+        # --- decode loop: quartets → 3 bytes --------------------------
+        for quartet_start in range(0, len(group) - 3, 4):
+            pc = DECODE_LOOP_PC
+            for j in range(4):
+                char = group[quartet_start + j]
+                insts.append(
+                    Instruction(
+                        pc=pc + 4 * j,
+                        kind=InstrKind.LOAD,
+                        mem_addr=lut_addr(char),
+                        fenced=lvi_mitigated,
+                        label=f"decode:{group_start + quartet_start + j}",
+                    )
+                )
+            for k in range(3):
+                insts.append(
+                    Instruction(
+                        pc=pc + 16 + 4 * k,
+                        kind=InstrKind.STORE,
+                        mem_addr=out_addr,
+                    )
+                )
+                out_addr += 1
+            insts.append(
+                Instruction(
+                    pc=pc + 28,
+                    kind=InstrKind.BRANCH,
+                    target=pc,
+                    taken=quartet_start + 4 < len(group) - 3,
+                )
+            )
+    program = TraceProgram(insts, name="base64-decode")
+    return DecodeProgramInfo(
+        program=program,
+        validity_load_pc=VALIDITY_LOOP_PC,
+        lut_lines=lut_line_addrs(),
+        ground_truth=[lut_line_of(c) for c in chars],
+        char_count=len(chars),
+    )

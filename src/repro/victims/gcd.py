@@ -1,0 +1,138 @@
+"""mbedTLS-style binary GCD (the §5.3 victim).
+
+``mbedtls_mpi_gcd`` (mbedTLS 3.0) reduces its operands with the binary
+algorithm; each loop iteration takes a secret-dependent branch on
+``TA >= TB``.  Recovering the per-iteration branch directions during
+RSA key generation leaks enough to reconstruct the private key (Puddu
+et al.'s Frontal attack cryptanalysis).
+
+:func:`binary_gcd_trace` reproduces mbedTLS's control flow faithfully
+(verified against ``math.gcd``); :func:`build_gcd_program` lowers it to
+an instruction trace where the if/else blocks occupy *distinct, fixed
+PCs* — the collision anchors for the BTB Train+Probe gadgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cpu.isa import Instruction, InstrKind
+from repro.cpu.program import TraceProgram
+from repro.victims.layout import VICTIM_TEXT_BASE
+
+
+def _lsb_index(value: int) -> int:
+    """Index of the least-significant set bit (mbedtls_mpi_lsb)."""
+    if value == 0:
+        return 0
+    return (value & -value).bit_length() - 1
+
+
+@dataclass
+class GcdTrace:
+    gcd: int
+    branches: List[bool]  # True = the `TA >= TB` (if) direction
+
+    @property
+    def iterations(self) -> int:
+        return len(self.branches)
+
+
+def binary_gcd_trace(a: int, b: int) -> GcdTrace:
+    """mbedtls_mpi_gcd's loop with branch directions recorded."""
+    if a <= 0 or b <= 0:
+        raise ValueError("operands must be positive")
+    ta, tb = a, b
+    lz = min(_lsb_index(ta), _lsb_index(tb))
+    ta >>= lz
+    tb >>= lz
+    branches: List[bool] = []
+    while ta != 0:
+        ta >>= _lsb_index(ta)
+        tb >>= _lsb_index(tb)
+        if ta >= tb:
+            branches.append(True)
+            ta = (ta - tb) >> 1
+        else:
+            branches.append(False)
+            tb = (tb - ta) >> 1
+    return GcdTrace(gcd=tb << lz, branches=branches)
+
+
+# ----------------------------------------------------------------------
+# Program lowering
+# ----------------------------------------------------------------------
+#: The secret-dependent branch and the two block bodies.  The probe
+#: anchors (one plain instruction inside each block) are what the BTB
+#: gadgets collide with.
+GCD_LOOP_PC = VICTIM_TEXT_BASE + 0x1000
+GCD_BRANCH_PC = GCD_LOOP_PC + 0x40
+GCD_IF_BLOCK_PC = GCD_LOOP_PC + 0x80
+GCD_ELSE_BLOCK_PC = GCD_LOOP_PC + 0x180
+
+
+@dataclass
+class GcdProgramInfo:
+    program: TraceProgram
+    trace: GcdTrace
+    if_probe_pc: int
+    else_probe_pc: int
+
+
+def build_gcd_program(
+    a: int,
+    b: int,
+    *,
+    head_nops: int = 12,
+    block_nops: int = 36,
+) -> GcdProgramInfo:
+    """Lower one mbedtls_mpi_gcd run to an instruction trace.
+
+    Per iteration: loop-head arithmetic (``head_nops`` instructions —
+    mbedtls_mpi_lsb + two shift_r calls over multi-limb MPIs), the
+    secret branch at ``GCD_BRANCH_PC``, then the taken block's body
+    (``block_nops`` instructions — mbedtls_mpi_sub_abs + shift_r over
+    the limb arrays; RSA-scale operands make these loops dozens of
+    instructions long, which is what gives the §5.2-style code-line
+    stall one full stepping window per iteration)."""
+    trace = binary_gcd_trace(a, b)
+    insts: List[Instruction] = []
+    for iteration, is_if in enumerate(trace.branches):
+        # loop head: mbedtls_mpi_lsb + shift_r
+        for k in range(head_nops):
+            insts.append(Instruction(pc=GCD_LOOP_PC + 4 * k, kind=InstrKind.NOP))
+        insts.append(
+            Instruction(
+                pc=GCD_BRANCH_PC,
+                kind=InstrKind.BRANCH,
+                target=GCD_IF_BLOCK_PC if is_if else GCD_ELSE_BLOCK_PC,
+                taken=True,
+                label=f"branch:{iteration}:{'if' if is_if else 'else'}",
+            )
+        )
+        block_pc = GCD_IF_BLOCK_PC if is_if else GCD_ELSE_BLOCK_PC
+        for k in range(block_nops):
+            insts.append(
+                Instruction(
+                    pc=block_pc + 4 * k,
+                    kind=InstrKind.NOP,
+                    label=f"block:{iteration}" if k == 0 else "",
+                )
+            )
+        insts.append(
+            Instruction(
+                pc=block_pc + 4 * block_nops,
+                kind=InstrKind.JMP,
+                target=GCD_LOOP_PC,
+            )
+        )
+    # epilogue: shift the result back
+    for k in range(4):
+        insts.append(Instruction(pc=GCD_LOOP_PC + 0x200 + 4 * k, kind=InstrKind.NOP))
+    return GcdProgramInfo(
+        program=TraceProgram(insts, name="mpi-gcd"),
+        trace=trace,
+        if_probe_pc=GCD_IF_BLOCK_PC,
+        else_probe_pc=GCD_ELSE_BLOCK_PC,
+    )

@@ -1,0 +1,35 @@
+"""Shared virtual-address layout for victims and attacks.
+
+Victim code/data sit in low memory; the attacker's eviction-set arenas
+sit far above so nothing aliases by accident; the BTB gadgets live at
+exact 4 GiB multiples above victim text (Fig 5.3's padding); kernel
+footprint lines are defined in :mod:`repro.kernel.kernel`.
+"""
+
+from __future__ import annotations
+
+#: Victim code (straightline loop, AES routine, base64 loops, GCD).
+VICTIM_TEXT_BASE = 0x0040_0000
+
+#: OpenSSL-style T-tables: Te0..Te3 contiguous, 1 KiB (16 lines) each.
+TTABLE_BASE = 0x0060_0000
+
+#: base64 decode LUT: 128 bytes spanning exactly two cache lines,
+#: line-aligned (as in OpenSSL's data layout per Sieck et al.).
+BASE64_LUT_BASE = 0x0061_0000
+
+#: Victim scratch/output buffers.  Offset so the decoder's growing
+#: output (a dozen lines) occupies LLC sets ~900+, clear of every
+#: monitored set — output stores crossing a probe set would read as
+#: false victim activity.
+VICTIM_DATA_BASE = 0x0070_E100
+
+#: Attacker arenas (eviction sets, probe buffers).
+ATTACKER_ARENA = 0x1_0000_0000 >> 4  # 0x10000000
+ATTACKER_TLB_ARENA = 0x2000_0000
+ATTACKER_LLC_ARENA = 0x3000_0000
+
+#: The LLC arena is mmap'd with MAP_HUGETLB (2 MiB pages): eviction-set
+#: lines are one LLC period apart and would thrash the 4 KiB STLB
+#: otherwise, polluting the attacker's own probe timings.
+ATTACKER_HUGE_REGION = (0x3000_0000, 0x4000_0000)

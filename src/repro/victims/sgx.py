@@ -1,0 +1,39 @@
+"""SGX enclave model (§5.2/§5.3 victims).
+
+The kernel provides the two enclave behaviours the attacks rely on:
+
+* every interrupt while the enclave runs is an **AEX** — heavier than a
+  normal switch and, crucially, it flushes the core's TLBs, which is
+  why the paper needs no explicit iTLB eviction against SGX victims;
+* resuming costs an **ERESUME**.
+
+This module only packages those knobs: an enclave victim is a normal
+trace program on a task with ``enclave=True``, optionally built with
+LVI load fences (the ``MITIGATION-CVE2020-0551=LOAD`` configuration of
+Sieck et al., which also suppresses the speculative smear).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.program import Program
+from repro.kernel.threads import ProgramBody
+from repro.sched.task import Task
+
+
+def make_enclave_task(
+    name: str,
+    program: Program,
+    *,
+    nice: int = 0,
+    spec_window: Optional[int] = None,
+) -> Task:
+    """Wrap ``program`` as a thread running inside an SGX enclave.
+
+    ``spec_window=0`` disables speculative smear explicitly; with
+    LVI-fenced programs the fences already stop it at every load.
+    """
+    body = ProgramBody(program, spec_window=spec_window)
+    task = Task(name, body=body, nice=nice, enclave=True)
+    return task

@@ -1,0 +1,67 @@
+"""Address arithmetic and the latency model."""
+
+from hypothesis import given, strategies as st
+
+from repro.uarch.address import (
+    CACHE_LINE_SIZE,
+    PAGE_SIZE,
+    line_addr,
+    line_index,
+    page_number,
+    page_offset,
+    same_line,
+)
+from repro.uarch.timing import (
+    CPU_FREQ_GHZ,
+    LATENCY,
+    LatencyModel,
+    cycles_to_ns,
+    ns_to_cycles,
+)
+
+
+class TestAddressHelpers:
+    def test_line_addr_alignment(self):
+        assert line_addr(0x1234) == 0x1200
+        assert line_addr(0x1200) == 0x1200
+
+    def test_line_index(self):
+        assert line_index(0) == 0
+        assert line_index(64) == 1
+        assert line_index(127) == 1
+
+    def test_page_number_and_offset(self):
+        assert page_number(PAGE_SIZE + 5) == 1
+        assert page_offset(PAGE_SIZE + 5) == 5
+
+    def test_same_line(self):
+        assert same_line(0x100, 0x13F)
+        assert not same_line(0x100, 0x140)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_line_addr_idempotent_and_aligned(self, addr):
+        aligned = line_addr(addr)
+        assert aligned % CACHE_LINE_SIZE == 0
+        assert line_addr(aligned) == aligned
+        assert aligned <= addr < aligned + CACHE_LINE_SIZE
+
+
+class TestTiming:
+    def test_cycles_ns_roundtrip(self):
+        assert ns_to_cycles(cycles_to_ns(123.0)) == 123.0
+
+    def test_freq_matches_testbed(self):
+        assert CPU_FREQ_GHZ == 3.6
+
+    def test_latency_ladder_ordering(self):
+        assert (LATENCY.l1_hit < LATENCY.l2_hit < LATENCY.llc_hit
+                < LATENCY.dram)
+        assert LATENCY.stlb_hit < LATENCY.page_walk
+
+    def test_hit_threshold_separates_llc_from_dram(self):
+        threshold = LATENCY.hit_threshold()
+        assert LATENCY.llc_hit < threshold < LATENCY.dram
+
+    def test_custom_model(self):
+        model = LatencyModel(l1_hit=1, l2_hit=2, llc_hit=3, dram=10)
+        assert model.hit_threshold() == 6

@@ -1,0 +1,171 @@
+"""End-to-end integration tests for the three §5 PoC attacks.
+
+These are the headline results: each test runs the full attack pipeline
+(colocalized attacker, seek phase, channel measurement, offline
+recovery) at a reduced scale and checks the paper's qualitative claims.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks.aes_first_round import run_aes_attack, run_aes_trace
+from repro.attacks.btb_gcd import random_prime_pairs, run_btb_gcd_attack
+from repro.attacks.common import (
+    DEFAULT_STARTUP_NS,
+    PhasedProgram,
+    launch_synchronized_attack,
+    run_to_completion,
+)
+from repro.attacks.sgx_base64 import run_sgx_base64_attack, run_sgx_trace
+from repro.core.primitive import ControlledPreemption, PreemptionConfig
+from repro.cpu.program import TraceProgram
+from repro.cpu.isa import nop
+from repro.victims.aes_ttable import TTableAes
+from repro.victims.gcd import binary_gcd_trace
+from repro.victims.rsa import generate_rsa_key, pem_base64_body
+
+
+class TestPhasedProgram:
+    def test_phase_boundaries(self):
+        payload = TraceProgram([nop(0x400000 + 4 * i) for i in range(10)])
+        program = PhasedProgram(1e6, payload, tail_insts=100)
+        assert program.payload_start == program.startup_insts + 100
+        assert program.instruction_at(program.payload_start).pc == 0x400000
+        # Tail instructions live in the tail region.
+        tail_inst = program.instruction_at(program.startup_insts)
+        assert tail_inst.pc == program.tail_marker_addr
+
+    def test_payload_retired_accounting(self):
+        payload = TraceProgram([nop(0x400000)])
+        program = PhasedProgram(1e5, payload, tail_insts=10)
+        program.retired = program.payload_start
+        assert program.in_payload
+        assert program.payload_retired == 0
+
+    def test_program_ends_with_payload(self):
+        payload = TraceProgram([nop(0x400000)])
+        program = PhasedProgram(1e5, payload, tail_insts=10)
+        assert program.instruction_at(program.payload_start + 1) is None
+
+
+class TestSynchronizedLaunch:
+    def test_victim_spawns_before_wake(self):
+        payload = TraceProgram([nop(0x400000 + 4 * i) for i in range(50)])
+        attacker = ControlledPreemption(
+            PreemptionConfig(nap_ns=900.0, rounds=5, hibernate_ns=100e6)
+        )
+        run = launch_synchronized_attack(attacker, payload, seed=1)
+        run_to_completion(run)
+        # The whole phased program (startup + tail + payload) retired.
+        assert run.victim_program.done
+        assert run.victim_program.payload_retired == len(payload.instructions)
+
+    def test_startup_must_fit_hibernation(self):
+        payload = TraceProgram([nop(0x400000)])
+        attacker = ControlledPreemption(
+            PreemptionConfig(nap_ns=900.0, rounds=5, hibernate_ns=1e6)
+        )
+        with pytest.raises(ValueError):
+            launch_synchronized_attack(
+                attacker, payload, seed=1, startup_ns=DEFAULT_STARTUP_NS
+            )
+
+
+class TestAesAttack:
+    def test_single_trace_shows_per_access_stepping(self):
+        key = bytes(range(16))
+        trace = run_aes_trace(TTableAes(key), bytes(16), seed=3)
+        active = [s for s in trace.samples if any(any(t) for t in s)]
+        assert len(active) > 100  # most accesses observed individually
+        singles = sum(
+            1 for s in active if sum(sum(t) for t in s) == 1
+        )
+        # "Ideally, the attacker should see a single cache access in
+        # each sample... In practice, the attacker sees smears" (§5.1):
+        # a meaningful fraction of samples stay single-access, the rest
+        # carry the speculative preview.
+        assert singles / len(active) > 0.3
+
+    def test_full_attack_recovers_most_nibbles(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        result = run_aes_attack(key, n_traces=5, seed=5)
+        assert result.accuracy >= 14 / 16
+
+    def test_eevdf_also_works(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        result = run_aes_attack(key, n_traces=3, scheduler="eevdf", seed=6)
+        assert result.accuracy >= 12 / 16
+
+
+class TestSgxAttack:
+    @pytest.fixture(scope="class")
+    def pem_body(self):
+        key = generate_rsa_key(1024, rng=random.Random(5))
+        return pem_base64_body(key)
+
+    def test_single_run_covers_partial_trace(self, pem_body):
+        trace, info = run_sgx_trace(pem_body, seed=2)
+        chars = trace.char_lines()
+        truth = info.ground_truth
+        cov = min(len(chars), len(truth)) / len(truth)
+        # Paper: 61.5 % single-run coverage; budget-limited, not full.
+        assert 0.4 < cov < 0.9
+        agree = sum(1 for a, b in zip(chars, truth) if a == b)
+        assert agree / min(len(chars), len(truth)) > 0.95
+
+    def test_two_run_protocol(self, pem_body):
+        result = run_sgx_base64_attack(pem_body, seed=2)
+        assert result.single_run_coverage < result.stitched_coverage
+        assert result.stitched_coverage > 0.9
+        assert result.stitched_accuracy > 0.9
+
+    def test_round_decisions_have_three_signals(self, pem_body):
+        trace, _ = run_sgx_trace(pem_body, seed=2, rounds=200)
+        assert all(len(decision) == 3 for decision in trace.rounds)
+
+
+class TestCrossScheduler:
+    def test_btb_attack_on_eevdf(self):
+        result = run_btb_gcd_attack(1001941, 300463, seed=4,
+                                    scheduler="eevdf")
+        assert result.accuracy > 0.9
+
+    def test_sgx_on_eevdf_is_budget_limited(self):
+        """Extension observation: EEVDF's smaller budget (one base
+        slice vs S_slack − S_preempt) covers a far shorter prefix per
+        run — accuracy holds, coverage shrinks."""
+        import random as _random
+
+        from repro.victims.rsa import generate_rsa_key, pem_base64_body
+
+        key = generate_rsa_key(1024, rng=_random.Random(5))
+        body = pem_base64_body(key)
+        trace, info = run_sgx_trace(body, seed=2, scheduler="eevdf")
+        chars = trace.char_lines()
+        truth = info.ground_truth
+        n = min(len(chars), len(truth))
+        assert 0.02 < n / len(truth) < 0.3
+        agree = sum(1 for a, b in zip(chars, truth) if a == b)
+        assert agree / max(1, n) > 0.9
+
+
+class TestBtbAttack:
+    def test_single_pair_full_recovery(self):
+        result = run_btb_gcd_attack(1001941, 300463, seed=4)
+        assert result.iterations == binary_gcd_trace(1001941, 300463).iterations
+        assert result.accuracy > 0.9
+
+    def test_prime_pair_generator_respects_iteration_bounds(self):
+        pairs = list(random_prime_pairs(3, seed=1))
+        assert len(pairs) == 3
+        for p, q in pairs:
+            iterations = binary_gcd_trace(p, q).iterations
+            assert 20 <= iterations <= 30
+
+    def test_multiple_pairs_high_mean_accuracy(self):
+        accuracies = []
+        for index, (p, q) in enumerate(random_prime_pairs(3, seed=2)):
+            result = run_btb_gcd_attack(p, q, seed=20 + index)
+            accuracies.append(result.accuracy)
+        assert sum(accuracies) / len(accuracies) > 0.9

@@ -1,0 +1,84 @@
+"""Unit tests for the NightVision-semantics BTB."""
+
+from repro.uarch.btb import Btb
+
+_4GIB = 1 << 32
+
+
+class TestAllocationAndPrediction:
+    def test_control_transfer_allocates(self):
+        btb = Btb()
+        btb.on_control_transfer(0x1000, 0x2000)
+        assert btb.predict(0x1000) == 0x2000
+
+    def test_no_entry_no_prediction(self):
+        assert Btb().predict(0x1000) is None
+
+    def test_reallocation_overwrites_target(self):
+        btb = Btb()
+        btb.on_control_transfer(0x1000, 0x2000)
+        btb.on_control_transfer(0x1000, 0x3000)
+        assert btb.predict(0x1000) == 0x3000
+
+
+class TestLow32Collisions:
+    def test_4gib_aliases_collide(self):
+        """The Fig 5.3 property: instructions 4 GiB apart share an entry."""
+        btb = Btb()
+        btb.on_control_transfer(0x1000 + _4GIB, 0x2000)
+        assert btb.predict(0x1000) == 0x2000
+        assert btb.predict(0x1000 + 2 * _4GIB) == 0x2000
+
+    def test_different_low_bits_do_not_collide(self):
+        btb = Btb()
+        btb.on_control_transfer(0x1000, 0x2000)
+        assert btb.predict(0x1004) is None
+
+
+class TestPlainInstructionInvalidation:
+    def test_colliding_nop_invalidates(self):
+        """NightVision: a non-control-transfer instruction at a
+        colliding PC invalidates the entry."""
+        btb = Btb()
+        btb.on_control_transfer(0x1000 + _4GIB, 0x2000)
+        btb.on_plain_instruction(0x1000)
+        assert btb.predict(0x1000) is None
+        assert btb.invalidations == 1
+
+    def test_non_colliding_nop_is_noop(self):
+        btb = Btb()
+        btb.on_control_transfer(0x1000, 0x2000)
+        btb.on_plain_instruction(0x1040)
+        assert btb.predict(0x1000) == 0x2000
+
+    def test_invalid_entry_gives_no_prediction_until_retrained(self):
+        btb = Btb()
+        btb.on_control_transfer(0x1000, 0x2000)
+        btb.on_plain_instruction(0x1000)
+        assert btb.predict(0x1000) is None
+        btb.on_control_transfer(0x1000, 0x2000)
+        assert btb.predict(0x1000) == 0x2000
+
+    def test_invalidating_twice_counts_once(self):
+        btb = Btb()
+        btb.on_control_transfer(0x1000, 0x2000)
+        btb.on_plain_instruction(0x1000)
+        btb.on_plain_instruction(0x1000)
+        assert btb.invalidations == 1
+
+
+class TestCapacity:
+    def test_capacity_evicts_oldest(self):
+        btb = Btb(capacity=2)
+        btb.on_control_transfer(0x1000, 0xA)
+        btb.on_control_transfer(0x2000, 0xB)
+        btb.on_control_transfer(0x3000, 0xC)
+        assert btb.predict(0x1000) is None
+        assert btb.predict(0x2000) == 0xB
+        assert len(btb) == 2
+
+    def test_flush(self):
+        btb = Btb()
+        btb.on_control_transfer(0x1000, 0xA)
+        btb.flush()
+        assert len(btb) == 0

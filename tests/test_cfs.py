@@ -1,0 +1,185 @@
+"""The CFS model: Eq 2.1 placement, Eq 2.2 preemption, scenarios 1–3."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.threads import ComputeBody
+from repro.sched.cfs import CfsScheduler
+from repro.sched.features import SchedFeatures
+from repro.sched.params import SchedParams
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task
+
+PARAMS = SchedParams.for_cores(16)
+MS = 1_000_000
+
+
+def make(name, vruntime=0.0, nice=0):
+    t = Task(name, body=ComputeBody(), nice=nice)
+    t.vruntime = vruntime
+    t.last_sleep_vruntime = vruntime
+    return t
+
+
+@pytest.fixture
+def sched():
+    return CfsScheduler(PARAMS)
+
+
+@pytest.fixture
+def rq():
+    return RunQueue(0)
+
+
+class TestEq21Placement:
+    def test_well_slept_thread_gets_full_slack(self, sched, rq):
+        """Hibernated attacker: left arm of the max()."""
+        victim = make("v", vruntime=100 * MS)
+        rq.current = victim
+        rq.update_min_vruntime()
+        attacker = make("a", vruntime=0.1 * MS)
+        sched.place_waking(rq, attacker)
+        assert attacker.vruntime == pytest.approx(100 * MS - PARAMS.s_slack)
+
+    def test_briefly_slept_thread_keeps_own_vruntime(self, sched, rq):
+        """Right arm: vruntime never moves backwards across sleep."""
+        victim = make("v", vruntime=100 * MS)
+        rq.current = victim
+        rq.update_min_vruntime()
+        napper = make("n", vruntime=99 * MS)
+        sched.place_waking(rq, napper)
+        assert napper.vruntime == 99 * MS
+
+    def test_slack_uses_gentle_fair_sleepers(self, rq):
+        rq.current = make("v", vruntime=100 * MS)
+        rq.update_min_vruntime()
+        harsh = CfsScheduler(
+            SchedParams.for_cores(16, gentle_fair_sleepers=False),
+            SchedFeatures(gentle_fair_sleepers=False),
+        )
+        sleeper = make("s", vruntime=0.0)
+        harsh.place_waking(rq, sleeper)
+        assert sleeper.vruntime == pytest.approx(100 * MS - PARAMS.s_bnd)
+
+    def test_initial_placement_gets_no_sleeper_credit(self, sched, rq):
+        rq.current = make("v", vruntime=100 * MS)
+        rq.update_min_vruntime()
+        fresh = make("f", vruntime=0.0)
+        sched.place_initial(rq, fresh)
+        assert fresh.vruntime == 100 * MS
+
+    @given(st.floats(min_value=0, max_value=1e12),
+           st.floats(min_value=0, max_value=1e12))
+    @settings(max_examples=50)
+    def test_placement_bounded(self, min_v, sleep_v):
+        """Property: placement is never below min_vruntime − S_slack and
+        never below the sleep vruntime."""
+        sched = CfsScheduler(PARAMS)
+        rq = RunQueue(0)
+        rq.min_vruntime = min_v
+        task = make("t", vruntime=sleep_v)
+        sched.place_waking(rq, task)
+        assert task.vruntime >= min_v - PARAMS.s_slack
+        assert task.vruntime >= sleep_v
+        assert task.vruntime == max(min_v - PARAMS.s_slack, sleep_v)
+
+
+class TestEq22Preemption:
+    def test_preempts_above_threshold(self, sched, rq):
+        curr = make("c", vruntime=100 * MS)
+        wakee = make("w", vruntime=100 * MS - PARAMS.s_preempt - 1)
+        assert sched.wants_wakeup_preempt(rq, curr, wakee)
+
+    def test_no_preempt_at_threshold(self, sched, rq):
+        curr = make("c", vruntime=100 * MS)
+        wakee = make("w", vruntime=100 * MS - PARAMS.s_preempt)
+        assert not sched.wants_wakeup_preempt(rq, curr, wakee)
+
+    def test_budget_is_slack_minus_preempt(self, sched, rq):
+        """§4.1: a hibernated wakee can preempt and has exactly
+        S_slack − S_preempt of vruntime headroom before Eq 2.2 fails."""
+        curr = make("c", vruntime=100 * MS)
+        rq.current = curr
+        rq.update_min_vruntime()
+        wakee = make("w", vruntime=0.0)
+        sched.place_waking(rq, wakee)
+        assert sched.wants_wakeup_preempt(rq, curr, wakee)
+        headroom = (curr.vruntime - wakee.vruntime) - PARAMS.s_preempt
+        assert headroom == pytest.approx(PARAMS.preemption_budget)
+
+    def test_no_wakeup_preemption_mitigation(self, rq):
+        sched = CfsScheduler(PARAMS, SchedFeatures.no_wakeup_preemption())
+        curr = make("c", vruntime=100 * MS)
+        wakee = make("w", vruntime=0.0)
+        assert not sched.wants_wakeup_preempt(rq, curr, wakee)
+
+    def test_min_slice_guard_mitigation(self, rq):
+        sched = CfsScheduler(PARAMS, SchedFeatures.min_slice_guard(1 * MS))
+        curr = make("c", vruntime=100 * MS)
+        wakee = make("w", vruntime=0.0)
+        curr.slice_exec = 0.5 * MS
+        assert not sched.wants_wakeup_preempt(rq, curr, wakee)
+        curr.slice_exec = 1.5 * MS
+        assert sched.wants_wakeup_preempt(rq, curr, wakee)
+
+
+class TestScenario1Tick:
+    def test_protected_before_min_granularity(self, sched, rq):
+        curr = make("c", vruntime=50 * MS)
+        rq.current = curr
+        rq.add(make("other", vruntime=0.0))
+        curr.slice_exec = PARAMS.s_min - 1
+        assert not sched.tick_preempt(rq, curr)
+
+    def test_descheduled_after_min_granularity_when_unfair(self, sched, rq):
+        curr = make("c", vruntime=50 * MS)
+        rq.current = curr
+        rq.add(make("other", vruntime=0.0))
+        curr.slice_exec = PARAMS.s_min
+        assert sched.tick_preempt(rq, curr)
+
+    def test_keeps_running_when_still_fairest(self, sched, rq):
+        curr = make("c", vruntime=10 * MS)
+        rq.current = curr
+        rq.add(make("other", vruntime=50 * MS))
+        curr.slice_exec = 10 * PARAMS.s_min
+        assert not sched.tick_preempt(rq, curr)
+
+    def test_alone_never_tick_preempted(self, sched, rq):
+        curr = make("c")
+        rq.current = curr
+        curr.slice_exec = 100 * MS
+        assert not sched.tick_preempt(rq, curr)
+
+
+class TestSelectionAndCharge:
+    def test_pick_next_is_leftmost(self, sched, rq):
+        rq.add(make("b", vruntime=20.0))
+        rq.add(make("a", vruntime=10.0))
+        assert sched.pick_next(rq).name == "a"
+
+    def test_charge_scales_with_weight(self, sched, rq):
+        hi = make("hi", nice=-20)
+        rq.current = hi
+        sched.charge(rq, hi, 1_000_000.0)
+        assert hi.vruntime == pytest.approx(1_000_000.0 * 1024 / 88761)
+        assert hi.sum_exec_runtime == 1_000_000.0
+
+    def test_charge_updates_min_vruntime_monotonically(self, sched, rq):
+        t = make("t")
+        rq.current = t
+        sched.charge(rq, t, 1000.0)
+        first = rq.min_vruntime
+        sched.charge(rq, t, 1000.0)
+        assert rq.min_vruntime >= first
+
+    def test_negative_charge_rejected(self, sched, rq):
+        t = make("t")
+        with pytest.raises(ValueError):
+            sched.charge(rq, t, -1.0)
+
+    def test_dequeue_records_sleep_vruntime(self, sched, rq):
+        t = make("t", vruntime=5 * MS)
+        t.vruntime = 7 * MS
+        sched.on_dequeue_sleep(rq, t)
+        assert t.last_sleep_vruntime == 7 * MS

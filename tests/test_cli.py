@@ -1,0 +1,45 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("resolution", "budget", "aes", "sgx", "btb",
+                        "colocation", "mitigations"):
+            args = parser.parse_args(
+                [command] if command != "resolution" else [command]
+            )
+            assert args.command == command
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scheduler_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resolution", "--scheduler", "bfs"])
+
+
+class TestCommands:
+    def test_budget_command_runs(self, capsys):
+        assert main(["budget", "--extra", "40000"]) == 0
+        out = capsys.readouterr().out
+        assert "consecutive preemptions" in out
+
+    def test_resolution_command_runs(self, capsys):
+        assert main(["resolution", "--tau", "740", "--degrade",
+                     "--preemptions", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "median" in out
+
+    def test_colocation_command_runs(self, capsys):
+        assert main(["colocation", "--cores", "4"]) == 0
+        assert "colocated" in capsys.readouterr().out
+
+    def test_btb_command_runs(self, capsys):
+        assert main(["btb", "--pairs", "1"]) == 0
+        assert "branch accuracy" in capsys.readouterr().out

@@ -1,0 +1,162 @@
+"""The EEVDF model: eligibility, deadlines, lag-capped placement."""
+
+import pytest
+
+from repro.kernel.threads import ComputeBody
+from repro.sched.eevdf import EevdfScheduler
+from repro.sched.features import SchedFeatures
+from repro.sched.params import SchedParams
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task
+
+PARAMS = SchedParams.for_cores(16)
+MS = 1_000_000
+
+
+def make(name, vruntime=0.0, nice=0, deadline=None):
+    t = Task(name, body=ComputeBody(), nice=nice)
+    t.vruntime = vruntime
+    t.last_sleep_vruntime = vruntime
+    t.deadline = deadline if deadline is not None else vruntime
+    return t
+
+
+@pytest.fixture
+def sched():
+    return EevdfScheduler(PARAMS)
+
+
+@pytest.fixture
+def rq():
+    return RunQueue(0)
+
+
+class TestEligibility:
+    def test_behind_average_is_eligible(self, sched, rq):
+        rq.current = make("c", vruntime=100 * MS)
+        behind = make("b", vruntime=50 * MS)
+        rq.add(behind)
+        assert sched.is_eligible(rq, behind)
+
+    def test_ahead_of_average_is_not(self, sched, rq):
+        rq.current = make("c", vruntime=50 * MS)
+        ahead = make("a", vruntime=100 * MS)
+        rq.add(ahead)
+        assert not sched.is_eligible(rq, ahead)
+
+    def test_average_is_load_weighted(self, sched, rq):
+        heavy = make("h", vruntime=0.0, nice=-10)  # weight 9548
+        light = make("l", vruntime=100 * MS, nice=10)  # weight 110
+        rq.add(heavy)
+        rq.add(light)
+        avg = rq.avg_vruntime()
+        assert avg < 50 * MS  # pulled toward the heavy task
+
+
+class TestPlacement:
+    def test_wakeup_deficit_capped_at_one_slice(self, sched, rq):
+        """§4.5 calibration: a hibernated thread wakes one base slice
+        behind the average — the observable behind the paper's median
+        of 219 preemptions."""
+        rq.current = make("c", vruntime=100 * MS)
+        rq.update_min_vruntime()
+        sleeper = make("s", vruntime=0.0)
+        sched.place_waking(rq, sleeper)
+        assert sleeper.vruntime == pytest.approx(
+            rq.avg_vruntime() - PARAMS.base_slice, rel=1e-6
+        )
+
+    def test_vruntime_never_moves_backwards(self, sched, rq):
+        rq.current = make("c", vruntime=100 * MS)
+        napper = make("n", vruntime=99.5 * MS)
+        sched.place_waking(rq, napper)
+        assert napper.vruntime == 99.5 * MS
+
+    def test_placement_renews_deadline(self, sched, rq):
+        rq.current = make("c", vruntime=100 * MS)
+        sleeper = make("s", vruntime=0.0)
+        sched.place_waking(rq, sleeper)
+        assert sleeper.deadline == pytest.approx(
+            sleeper.vruntime + PARAMS.base_slice
+        )
+
+    def test_weighted_slice(self, sched):
+        light = make("l", nice=10)
+        assert sched.vslice(light) > PARAMS.base_slice
+
+
+class TestWakeupPreemption:
+    def _place(self, sched, rq, curr_v):
+        curr = make("c", vruntime=curr_v)
+        sched.renew_deadline(curr)
+        rq.current = curr
+        wakee = make("w", vruntime=0.0)
+        sched.place_waking(rq, wakee)
+        return curr, wakee
+
+    def test_well_slept_wakee_preempts(self, sched, rq):
+        curr, wakee = self._place(sched, rq, 100 * MS)
+        assert sched.wants_wakeup_preempt(rq, curr, wakee)
+
+    def test_ineligible_wakee_does_not(self, sched, rq):
+        curr = make("c", vruntime=50 * MS)
+        sched.renew_deadline(curr)
+        rq.current = curr
+        ahead = make("a", vruntime=80 * MS)
+        ahead.deadline = ahead.vruntime  # earliest possible deadline
+        assert not sched.wants_wakeup_preempt(rq, curr, ahead)
+
+    def test_later_deadline_does_not_preempt(self, sched, rq):
+        curr = make("c", vruntime=100 * MS, deadline=100 * MS + 1)
+        rq.current = curr
+        wakee = make("w", vruntime=99 * MS, deadline=200 * MS)
+        rq.add(wakee)
+        assert not sched.wants_wakeup_preempt(rq, curr, wakee)
+
+    def test_no_wakeup_preemption_feature(self, rq):
+        sched = EevdfScheduler(PARAMS, SchedFeatures.no_wakeup_preemption())
+        curr, wakee = (
+            make("c", vruntime=100 * MS),
+            make("w", vruntime=0.0),
+        )
+        rq.current = curr
+        sched.place_waking(rq, wakee)
+        assert not sched.wants_wakeup_preempt(rq, curr, wakee)
+
+    def test_run_to_parity_protects_current(self, rq):
+        sched = EevdfScheduler(PARAMS, SchedFeatures(run_to_parity=True))
+        curr = make("c", vruntime=100 * MS, deadline=105 * MS)
+        rq.current = curr
+        wakee = make("w", vruntime=0.0)
+        sched.place_waking(rq, wakee)
+        assert not sched.wants_wakeup_preempt(rq, curr, wakee)
+
+
+class TestSelection:
+    def test_picks_earliest_deadline_among_eligible(self, sched, rq):
+        a = make("a", vruntime=10 * MS, deadline=40 * MS)
+        b = make("b", vruntime=20 * MS, deadline=30 * MS)
+        rq.add(a)
+        rq.add(b)
+        # Both eligible (vruntime <= avg of 15 MS? a yes, b no).
+        picked = sched.pick_next(rq)
+        assert picked is a  # only `a` is eligible
+
+    def test_falls_back_to_earliest_deadline_when_none_eligible(
+        self, sched, rq
+    ):
+        # Single queued task ahead of nothing: avg == its own vruntime,
+        # so it is eligible; craft two where neither is (impossible for
+        # the weighted average) — fallback still returns *something*.
+        a = make("a", vruntime=10 * MS, deadline=99 * MS)
+        rq.add(a)
+        assert sched.pick_next(rq) is a
+
+    def test_empty_queue(self, sched, rq):
+        assert sched.pick_next(rq) is None
+
+    def test_tick_renews_deadline_when_consumed(self, sched, rq):
+        curr = make("c", vruntime=10 * MS, deadline=5 * MS)
+        rq.current = curr
+        sched.tick_preempt(rq, curr)
+        assert curr.deadline > curr.vruntime

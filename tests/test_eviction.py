@@ -1,0 +1,94 @@
+"""Unit tests for eviction-set construction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.cache import CacheGeometry, CacheLevel
+from repro.uarch.eviction import (
+    build_cache_eviction_set,
+    build_llc_eviction_set,
+    build_tlb_eviction_set,
+    distinct_lines,
+)
+from repro.uarch.tlb import Tlb, TlbGeometry, TlbHierarchy
+
+
+class TestCacheEvictionSets:
+    GEOMETRY = CacheGeometry(2048, 16)
+
+    def test_all_congruent(self):
+        target = 0x400100
+        addrs = build_cache_eviction_set(self.GEOMETRY, target, 0x3000_0000)
+        assert len(addrs) == 16
+        assert all(
+            self.GEOMETRY.set_index(a) == self.GEOMETRY.set_index(target)
+            for a in addrs
+        )
+
+    def test_addresses_are_distinct_lines(self):
+        addrs = build_cache_eviction_set(self.GEOMETRY, 0x400100, 0x3000_0000)
+        assert distinct_lines(addrs) == len(addrs)
+
+    def test_never_aliases_the_target(self):
+        target = 0x400100
+        addrs = build_cache_eviction_set(self.GEOMETRY, target, 0x3000_0000)
+        assert all(a // 64 != target // 64 for a in addrs)
+
+    def test_extra_ways(self):
+        addrs = build_llc_eviction_set(self.GEOMETRY, 0x400100, 0x3000_0000,
+                                       extra_ways=2)
+        assert len(addrs) == 18
+
+    def test_exactly_associativity_evicts_target(self):
+        """Priming the set must displace the victim line."""
+        cache = CacheLevel("llc", self.GEOMETRY)
+        target = 0x400100
+        cache.fill(target)
+        for addr in build_llc_eviction_set(self.GEOMETRY, target, 0x3000_0000):
+            cache.fill(addr)
+        assert not cache.contains(target)
+
+    def test_probe_set_does_not_self_evict(self):
+        """With exactly `ways` lines, priming twice leaves all resident
+        — the property that makes the set usable as a P+P probe."""
+        cache = CacheLevel("llc", self.GEOMETRY)
+        addrs = build_llc_eviction_set(self.GEOMETRY, 0x400100, 0x3000_0000)
+        for _ in range(2):
+            for addr in addrs:
+                cache.fill(addr)
+        assert all(cache.contains(a) for a in addrs)
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=50)
+    def test_congruence_for_any_target(self, target):
+        addrs = build_cache_eviction_set(self.GEOMETRY, target, 0x5000_0000)
+        want = self.GEOMETRY.set_index(target)
+        assert all(self.GEOMETRY.set_index(a) == want for a in addrs)
+
+
+class TestTlbEvictionSets:
+    def test_itlb_set_congruence(self):
+        target = 0x400000
+        pages = build_tlb_eviction_set(TlbHierarchy.ITLB, target, 0x2000_0000)
+        assert len(pages) == TlbHierarchy.ITLB.n_ways
+        want = TlbHierarchy.ITLB.set_index(target // 4096)
+        assert all(
+            TlbHierarchy.ITLB.set_index(p // 4096) == want for p in pages
+        )
+
+    def test_pages_are_page_aligned_and_distinct(self):
+        pages = build_tlb_eviction_set(TlbHierarchy.STLB, 0x400000, 0x2000_0000)
+        assert all(p % 4096 == 0 for p in pages)
+        assert len(set(pages)) == len(pages)
+
+    def test_filling_the_set_evicts_victim_translation(self):
+        geometry = TlbGeometry(8, 4)
+        tlb = Tlb("t", geometry)
+        victim_vpn = 0x400000 // 4096
+        tlb.fill(1, victim_vpn)
+        for page in build_tlb_eviction_set(geometry, 0x400000, 0x2000_0000):
+            tlb.fill(2, page // 4096)
+        assert not tlb.contains(1, victim_vpn)
+
+    def test_arena_is_clear_of_target_page(self):
+        pages = build_tlb_eviction_set(TlbHierarchy.ITLB, 0x400000, 0x2000_0000)
+        assert all(p // 4096 != 0x400000 // 4096 for p in pages)

@@ -1,0 +1,64 @@
+"""Smoke tests: the shipped examples must run and tell the story."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "consecutive preemptions achieved" in out
+        assert "single-step rate" in out
+
+    def test_colocation_demo(self, capsys):
+        run_example("colocation_demo.py")
+        out = capsys.readouterr().out
+        assert "SUCCESS" in out
+
+    def test_aes_example(self, capsys):
+        run_example("aes_key_recovery.py", ["3"])
+        out = capsys.readouterr().out
+        assert "upper-nibble accuracy" in out
+
+    def test_btb_example(self, capsys):
+        run_example("btb_control_flow.py", ["2"])
+        out = capsys.readouterr().out
+        assert "branch accuracy" in out
+
+    def test_budget_walkthrough(self, capsys):
+        run_example("budget_walkthrough.py")
+        out = capsys.readouterr().out
+        assert "predicted" in out and "measured" in out
+
+    def test_square_multiply_extension(self, capsys):
+        run_example("rsa_square_multiply.py", ["3"])
+        out = capsys.readouterr().out
+        assert "bit accuracy" in out
+
+    def test_export_figure_data(self, tmp_path):
+        # Export only the cheap figures here; the full export is an
+        # offline tool (the τ sweeps alone take minutes).
+        import runpy
+
+        module = runpy.run_path(str(EXAMPLES / "export_figure_data.py"))
+        module["export_fig_4_6"](str(tmp_path))
+        written = {p.name for p in tmp_path.iterdir()}
+        assert "fig_4_6.dat" in written
+        content = (tmp_path / "fig_4_6.dat").read_text().splitlines()
+        assert content[0].startswith("#")
+        assert len(content) > 100  # three vruntime series

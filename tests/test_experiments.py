@@ -1,0 +1,155 @@
+"""The §4 characterization experiments at reduced scale."""
+
+import math
+
+import pytest
+
+from repro.experiments.colocation import (
+    run_colocation,
+    run_fully_loaded_colocation,
+)
+from repro.experiments.mitigations import evaluate_mitigations
+from repro.experiments.noise import pattern_matches_vn_a, run_noise_experiment
+from repro.experiments.preemption_count import (
+    eevdf_budget_statistic,
+    run_budget_measurement,
+)
+from repro.experiments.resolution import run_resolution
+from repro.experiments.setup import build_env, scaled
+from repro.core.wakeup import WakeupMethod
+
+
+class TestSetup:
+    def test_build_env_schedulers(self):
+        assert build_env("cfs").policy.name == "cfs"
+        assert build_env("eevdf").policy.name == "eevdf"
+        with pytest.raises(ValueError):
+            build_env("bfs")
+
+    def test_params_follow_paper_machine(self):
+        env = build_env(n_cores=1)
+        assert env.params.s_slack == 12_000_000  # 16-core table values
+
+    def test_scaled_floor(self):
+        assert scaled(100_000, minimum=20) >= 20
+        assert scaled(0) == 20
+
+
+class TestResolution:
+    def test_small_tau_mostly_small_steps(self):
+        run = run_resolution(700.0, preemptions=250, seed=1)
+        stats = run.stats
+        assert stats.zero_fraction + stats.under_10_fraction + \
+            stats.single_fraction > 0.6
+
+    def test_larger_tau_more_instructions(self):
+        small = run_resolution(700.0, preemptions=200, seed=1)
+        large = run_resolution(950.0, preemptions=200, seed=1)
+        assert large.stats.median > small.stats.median
+
+    def test_degradation_gives_single_step_majority(self):
+        run = run_resolution(740.0, degrade_itlb=True, preemptions=250, seed=1)
+        assert run.stats.single_fraction > 0.5
+
+    def test_timer_method_comparable_to_nanosleep(self):
+        """Method 2 shows the same zero/small-step regime at its own
+        Goldilocks τ (shifted up by the signal round trip)."""
+        m1 = run_resolution(700.0, preemptions=200, seed=1)
+        m2 = run_resolution(
+            2740.0, method=WakeupMethod.TIMER, preemptions=200, seed=1
+        )
+        for stats in (m1.stats, m2.stats):
+            assert stats.zero_fraction > 0.05
+            assert stats.zero_fraction + stats.single_fraction + \
+                stats.under_10_fraction > 0.5
+
+    def test_eevdf_resolution_resembles_cfs(self):
+        cfs = run_resolution(740.0, degrade_itlb=True, preemptions=200, seed=1)
+        eevdf = run_resolution(
+            740.0, degrade_itlb=True, scheduler="eevdf",
+            preemptions=200, seed=1,
+        )
+        assert eevdf.stats.single_fraction > 0.5
+        assert abs(eevdf.stats.median - cfs.stats.median) <= 2
+
+
+class TestPreemptionCounts:
+    def test_count_tracks_expected_curve(self):
+        for extra in (8_000.0, 20_000.0):
+            run = run_budget_measurement(extra_compute_ns=extra, seed=3)
+            assert run.preemptions == pytest.approx(run.expected, rel=0.15)
+
+    def test_higher_victim_priority_fewer_preemptions(self):
+        high = run_budget_measurement(victim_nice=-20, seed=3)
+        default = run_budget_measurement(victim_nice=0, seed=3)
+        assert high.preemptions < default.preemptions
+        assert high.preemptions > 300  # "still hundreds" (§4.3)
+
+    def test_eevdf_median_in_paper_range(self):
+        median, counts = eevdf_budget_statistic(repeats=8, seed=3)
+        # Paper: median 219 at Ia−Iv ∈ [10, 15] µs; the budget model
+        # (one 3 ms base slice) puts it in the low hundreds.
+        assert 150 <= median <= 320
+        assert len(counts) == 8
+
+
+class TestNoise:
+    def test_two_regimes(self):
+        run = run_noise_experiment(rounds=600, seed=1)
+        assert run.convergence_time is not None
+        # Before convergence: (almost) pure attacker↔victim
+        # interleaving — the convergence instant is estimated from
+        # sampled vruntimes, so a stray N at the edge is tolerated.
+        body = run.pattern_before[1:-1]
+        assert body
+        assert body.count("N") / len(body) < 0.1
+        # After: ((V|N)A)+ with the noise thread present.
+        assert "N" in run.pattern_after
+        assert pattern_matches_vn_a(run.pattern_after)
+
+    def test_attack_survives_convergence(self):
+        run = run_noise_experiment(rounds=600, seed=1)
+        assert run.preemptions_after > 50
+
+
+class TestColocation:
+    def test_positive_case(self):
+        outcome = run_colocation(n_cores=8, seed=2)
+        assert outcome.colocated
+        assert outcome.victim_stayed
+        assert outcome.preemptions_on_target > 100
+
+    def test_fully_loaded_negative_case(self):
+        assert run_fully_loaded_colocation(n_cores=8, seed=2)
+
+
+class TestMitigations:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            r.name: r for r in evaluate_mitigations(rounds=150, seed=1)
+        }
+
+    def test_baseline_single_steps(self, results):
+        assert results["baseline"].median_instructions_per_preemption < 20
+
+    def test_no_wakeup_preemption_kills_primitive(self, results):
+        assert results["no_wakeup_preemption"].consecutive_preemptions == 0
+
+    def test_eevdf_run_to_parity_kills_primitive(self, results):
+        assert results["eevdf_run_to_parity"].consecutive_preemptions == 0
+        assert results["eevdf_baseline"].consecutive_preemptions > 50
+
+    def test_min_slice_throttles(self, results):
+        baseline = results["baseline"].consecutive_preemptions
+        throttled = results["min_slice_1ms"].consecutive_preemptions
+        assert throttled < baseline / 10
+
+    def test_aex_notify_destroys_single_stepping(self, results):
+        sgx = results["sgx_baseline"]
+        mitigated = results["sgx_aex_notify"]
+        assert mitigated.single_step_fraction == 0.0
+        assert (
+            mitigated.median_instructions_per_preemption
+            > 5 * sgx.median_instructions_per_preemption
+        )

@@ -1,0 +1,179 @@
+"""Kernel edge cases: cross-CPU wakes, migrations, exits, idle."""
+
+from repro.experiments.setup import build_env
+from repro.kernel import actions as act
+from repro.kernel.threads import ComputeBody, CoroutineBody, ProgramBody
+from repro.cpu.program import StraightlineProgram
+from repro.sched.task import Task, TaskState
+
+MS = 1_000_000
+
+
+class TestCrossCpuWake:
+    def test_wake_respects_affinity_changed_while_sleeping(self):
+        """A timer fires on the CPU that armed it; if the task was
+        meanwhile pinned elsewhere, the wake must enqueue it there."""
+        env = build_env(n_cores=2, seed=0)
+
+        def sleeper():
+            yield act.Nanosleep(5 * MS)
+            yield act.Compute(1 * MS)
+            yield act.Exit()
+
+        task = Task("sleeper", body=CoroutineBody(sleeper()))
+        env.kernel.spawn(task, cpu=0)
+        env.kernel.run_until(
+            predicate=lambda: task.state is TaskState.SLEEPING, max_time=1e9
+        )
+        task.pin_to(1)  # sched_setaffinity while blocked
+        env.kernel.run_until(
+            predicate=lambda: task.state is TaskState.EXITED, max_time=1e9
+        )
+        assert task.cpu == 1
+
+    def test_wake_onto_idle_cpu_runs_promptly(self):
+        env = build_env(n_cores=2, seed=0)
+        busy = Task("busy", body=ComputeBody())
+        busy.pin_to(0)
+        env.kernel.spawn(busy, cpu=0)
+
+        wake_to_run = []
+
+        def sleeper():
+            yield act.SetTimerSlack(1.0)
+            yield act.Nanosleep(5 * MS)
+            now = yield act.GetTime()
+            wake_to_run.append(now)
+            yield act.Exit()
+
+        task = Task("sleeper", body=CoroutineBody(sleeper()))
+        task.pin_to(1)
+        env.kernel.spawn(task, cpu=1)
+        env.kernel.run_until(
+            predicate=lambda: task.state is TaskState.EXITED, max_time=1e9
+        )
+        assert wake_to_run
+        # Runs within microseconds of the 5 ms expiry, on its own CPU.
+        assert wake_to_run[0] < 5 * MS + 100_000
+
+
+class TestExitPaths:
+    def test_cpu_goes_idle_after_last_exit(self):
+        env = build_env(seed=0)
+
+        def quick():
+            yield act.Compute(1000.0)
+            yield act.Exit()
+
+        task = Task("quick", body=CoroutineBody(quick()))
+        env.kernel.spawn(task, cpu=0)
+        env.kernel.run_until(max_time=10 * MS)
+        assert task.state is TaskState.EXITED
+        assert env.kernel.cpus[0].rq.current is None
+        assert env.kernel.cpus[0].rq.nr_running == 0
+
+    def test_next_task_runs_after_exit(self):
+        env = build_env(seed=0)
+
+        def quick():
+            yield act.Compute(1000.0)
+            yield act.Exit()
+
+        first = Task("first", body=CoroutineBody(quick()))
+        second = Task("second", body=ComputeBody())
+        env.kernel.spawn(first, cpu=0)
+        env.kernel.spawn(second, cpu=0)
+        env.kernel.run_until(max_time=10 * MS)
+        assert first.state is TaskState.EXITED
+        assert second.sum_exec_runtime > 8 * MS
+
+    def test_program_victim_exit_recorded(self):
+        env = build_env(seed=0)
+        victim = Task("v", body=ProgramBody(StraightlineProgram(total=100)))
+        env.kernel.spawn(victim, cpu=0)
+        env.kernel.run_until(
+            predicate=lambda: victim.state is TaskState.EXITED, max_time=1e9
+        )
+        exits = [s for s in env.tracer.switches
+                 if s.prev_pid == victim.pid and s.reason == "exit"]
+        assert len(exits) == 1
+
+
+class TestIdleWakeLatency:
+    def test_timer_on_idle_cpu_fires(self):
+        """An idle CPU must wake itself up for a pending timer."""
+        env = build_env(seed=0)
+        fired = []
+
+        def napper():
+            yield act.Nanosleep(3 * MS)
+            now = yield act.GetTime()
+            fired.append(now)
+            yield act.Exit()
+
+        task = Task("napper", body=CoroutineBody(napper()))
+        env.kernel.spawn(task, cpu=0)
+        env.kernel.run_until(max_time=1e9)
+        assert fired and fired[0] >= 3 * MS
+
+    def test_spawn_errors(self):
+        env = build_env(seed=0)
+        import pytest
+
+        with pytest.raises(ValueError):
+            env.kernel.spawn(Task("nobody", body=None))
+
+
+class TestSpawnWakePlacement:
+    def test_wake_placement_spawn_uses_eq_2_1(self):
+        env = build_env(seed=0)
+        runner = Task("runner", body=ComputeBody())
+        env.kernel.spawn(runner, cpu=0)
+        env.kernel.run_until(max_time=100 * MS)
+        woken = Task("woken", body=ComputeBody())
+        env.kernel.spawn(woken, cpu=0, wake_placement=True, sleep_vruntime=0.0)
+        # Placed a full S_slack behind, not at min_vruntime.
+        assert woken.vruntime <= runner.vruntime - env.params.s_slack + 1e3
+
+    def test_fork_placement_gets_no_credit(self):
+        env = build_env(seed=0)
+        runner = Task("runner", body=ComputeBody())
+        env.kernel.spawn(runner, cpu=0)
+        env.kernel.run_until(max_time=100 * MS)
+        forked = Task("forked", body=ComputeBody())
+        env.kernel.spawn(forked, cpu=0)
+        assert forked.vruntime >= runner.vruntime - env.params.s_min * 2
+
+
+class TestInterruptStorm:
+    def test_short_period_timer_does_not_starve_switches(self):
+        """A periodic timer with interval below the IRQ-path cost is an
+        interrupt storm; a woken task's context switch must still go
+        through in the same dispatch (livelock regression test)."""
+        env = build_env(seed=0)
+        victim = Task("victim", body=ComputeBody())
+        wakes = []
+
+        def body():
+            yield act.Nanosleep(50 * MS)  # sleeper credit
+            yield act.TimerCreate(500.0)  # interval << irq path
+            for _ in range(5):
+                yield act.Pause()
+                now = yield act.GetTime()
+                wakes.append(now)
+            yield act.TimerCancel()
+            yield act.Exit()
+
+        task = Task("stormy", body=CoroutineBody(body()))
+        env.kernel.spawn(victim, cpu=0)
+        env.kernel.spawn(task, cpu=0)
+        env.kernel.run_until(
+            predicate=lambda: task.state is TaskState.EXITED,
+            max_time=200 * MS,
+        )
+        assert task.state is TaskState.EXITED
+        assert len(wakes) == 5
+        # Wake-to-wake spacing is set by the IRQ/switch path, not by a
+        # runaway backlog: microseconds, never milliseconds.
+        gaps = [b - a for a, b in zip(wakes, wakes[1:])]
+        assert all(gap < 100_000 for gap in gaps)

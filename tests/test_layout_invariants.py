@@ -1,0 +1,92 @@
+"""Address-layout invariants across the whole repository.
+
+Several attacks were debugged against *accidental* set collisions
+(kernel footprint vs probe sets, victim output buffers crossing a
+monitored set, startup loops touching the seek landmark).  These tests
+pin the layout so refactors cannot silently reintroduce them.
+"""
+
+from repro.attacks.common import STARTUP_TEXT_BASE, TAIL_TEXT_BASE
+from repro.kernel.kernel import KERNEL_REGION_BASE
+from repro.uarch.cache import HierarchyGeometry
+from repro.victims.base64_lut import (
+    DECODE_LOOP_PC,
+    VALIDITY_LOOP_PC,
+    lut_line_addrs,
+)
+from repro.victims.gcd import (
+    GCD_BRANCH_PC,
+    GCD_ELSE_BLOCK_PC,
+    GCD_IF_BLOCK_PC,
+    GCD_LOOP_PC,
+)
+from repro.victims.layout import (
+    ATTACKER_HUGE_REGION,
+    ATTACKER_LLC_ARENA,
+    VICTIM_DATA_BASE,
+)
+
+LLC = HierarchyGeometry().llc
+
+
+def llc_sets(base, n_lines):
+    return {LLC.set_index(base + 64 * i) for i in range(n_lines)}
+
+
+MONITORED_SETS = {
+    LLC.set_index(VALIDITY_LOOP_PC),
+    LLC.set_index(lut_line_addrs()[0]),
+    LLC.set_index(lut_line_addrs()[1]),
+    LLC.set_index(GCD_LOOP_PC),
+    LLC.set_index(GCD_BRANCH_PC),
+    LLC.set_index(GCD_IF_BLOCK_PC),
+    LLC.set_index(GCD_ELSE_BLOCK_PC),
+    LLC.set_index(TAIL_TEXT_BASE),  # the seek landmark
+}
+
+
+class TestMonitoredSetIsolation:
+    def test_monitored_sets_are_distinct(self):
+        assert len(MONITORED_SETS) == 8
+
+    def test_kernel_footprint_avoids_monitored_sets(self):
+        """The kernel's per-switch footprint must not alias a probe set
+        (it would read as constant false victim activity)."""
+        inst_sets = llc_sets(KERNEL_REGION_BASE + 1500 * 64, 16 + 8)
+        data_sets = llc_sets(KERNEL_REGION_BASE + 0x10_0000 + 1800 * 64,
+                             8 + 8)
+        assert not (inst_sets | data_sets) & MONITORED_SETS
+
+    def test_victim_startup_loop_avoids_monitored_sets(self):
+        startup_sets = llc_sets(STARTUP_TEXT_BASE, 64)
+        assert not startup_sets & MONITORED_SETS
+
+    def test_tail_only_touches_its_own_landmark(self):
+        tail_sets = llc_sets(TAIL_TEXT_BASE, 2500 * 4 // 64 + 1)
+        overlap = tail_sets & MONITORED_SETS
+        assert overlap == {LLC.set_index(TAIL_TEXT_BASE)}
+
+    def test_victim_output_buffer_avoids_monitored_sets(self):
+        """The base64 decoder writes ~650 output bytes; the §5.2 attack
+        broke when this buffer crossed the code-probe set."""
+        output_sets = llc_sets(VICTIM_DATA_BASE, 16)
+        assert not output_sets & MONITORED_SETS
+
+    def test_decode_loop_is_off_the_validity_set(self):
+        assert LLC.set_index(DECODE_LOOP_PC) != LLC.set_index(VALIDITY_LOOP_PC)
+
+
+class TestArenas:
+    def test_llc_arena_is_hugepage_backed(self):
+        lo, hi = ATTACKER_HUGE_REGION
+        assert lo <= ATTACKER_LLC_ARENA < hi
+        # All the sub-arenas the attacks carve out stay inside.
+        for offset in (0x10_0000, 0x20_0000, 0x30_0000, 0x40_0000,
+                       0x80_0000, 0xC0_0000):
+            assert lo <= ATTACKER_LLC_ARENA + offset < hi
+
+    def test_victim_regions_outside_attacker_arena(self):
+        lo, hi = ATTACKER_HUGE_REGION
+        for addr in (VALIDITY_LOOP_PC, GCD_LOOP_PC, VICTIM_DATA_BASE,
+                     STARTUP_TEXT_BASE, TAIL_TEXT_BASE):
+            assert not lo <= addr < hi

@@ -1,0 +1,96 @@
+"""Placement and idle-pull balancing (the §4.4 substrate)."""
+
+import pytest
+
+from repro.kernel.threads import ComputeBody
+from repro.sched.loadbalance import LoadBalancer
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task
+
+
+def make(name, pinned=None):
+    t = Task(name, body=ComputeBody())
+    if pinned is not None:
+        t.pin_to(pinned)
+    return t
+
+
+@pytest.fixture
+def rqs():
+    return [RunQueue(i) for i in range(4)]
+
+
+class TestSelectCpu:
+    def test_prefers_idle_cpu(self, rqs):
+        balancer = LoadBalancer(rqs)
+        rqs[0].add(make("busy0"))
+        rqs[1].add(make("busy1"))
+        assert balancer.select_cpu(make("new")) == 2
+
+    def test_colocation_scenario(self, rqs):
+        """Dummies on every core but one ⇒ the victim must land there."""
+        balancer = LoadBalancer(rqs)
+        for cpu in (0, 1, 3):
+            rqs[cpu].add(make(f"dummy{cpu}", pinned=cpu))
+        assert balancer.select_cpu(make("victim")) == 2
+
+    def test_least_loaded_fallback(self, rqs):
+        balancer = LoadBalancer(rqs)
+        for rq in rqs:
+            rq.add(make(f"a{rq.cpu}"))
+        rqs[2].queued[0].nice = 10  # lightest load
+        assert balancer.select_cpu(make("new")) == 2
+
+    def test_respects_affinity(self, rqs):
+        balancer = LoadBalancer(rqs)
+        pinned = make("p", pinned=1)
+        rqs[1].add(make("busy"))
+        assert balancer.select_cpu(pinned) == 1
+
+    def test_no_allowed_cpu_raises(self, rqs):
+        balancer = LoadBalancer(rqs)
+        task = make("t")
+        task.allowed_cpus = frozenset({99})
+        with pytest.raises(ValueError):
+            balancer.select_cpu(task)
+
+
+class TestBalance:
+    def test_idle_pulls_from_busiest(self, rqs):
+        balancer = LoadBalancer(rqs)
+        rqs[0].current = make("running")
+        waiting = make("waiting")
+        rqs[0].add(waiting)
+        migrations = balancer.balance(now=0.0)
+        assert len(migrations) == 1
+        assert migrations[0].task is waiting
+        assert waiting.cpu != 0
+
+    def test_running_task_never_pulled(self, rqs):
+        balancer = LoadBalancer(rqs)
+        rqs[0].current = make("running")
+        assert balancer.balance(now=0.0) == []
+
+    def test_pinned_tasks_never_pulled(self, rqs):
+        """Why the victim stays put in §4.4: the dummies are pinned, so
+        the balancer finds nothing migratable."""
+        balancer = LoadBalancer(rqs)
+        rqs[0].current = make("victim")
+        rqs[0].add(make("dummy", pinned=0))
+        assert balancer.balance(now=0.0) == []
+
+    def test_no_idle_cpu_no_migration(self, rqs):
+        balancer = LoadBalancer(rqs)
+        for rq in rqs:
+            rq.current = make(f"r{rq.cpu}")
+        rqs[0].add(make("extra"))
+        assert balancer.balance(now=0.0) == []
+
+    def test_migration_recorded(self, rqs):
+        balancer = LoadBalancer(rqs)
+        rqs[0].current = make("running")
+        task = make("waiting")
+        rqs[0].add(task)
+        balancer.balance(now=42.0)
+        assert balancer.migrations[0].time == 42.0
+        assert task.migrations == 1

@@ -1,0 +1,66 @@
+"""Machine configuration and the SGX task wrapper."""
+
+import pytest
+
+from repro.cpu.machine import Machine, MachineConfig
+from repro.cpu.program import StraightlineProgram
+from repro.kernel.threads import ProgramBody
+from repro.uarch.cache import CacheGeometry, HierarchyGeometry
+from repro.uarch.timing import LatencyModel
+from repro.victims.sgx import make_enclave_task
+
+
+class TestMachine:
+    def test_default_models_the_testbed(self):
+        machine = Machine()
+        assert machine.n_cores == 16
+        assert len(machine.cores) == 16
+        assert len(machine.btbs) == 16
+
+    def test_cores_share_llc_but_not_l1(self):
+        machine = Machine(MachineConfig(n_cores=2))
+        machine.hierarchy.access(0, 0x1000)
+        assert machine.core(0).hierarchy is machine.core(1).hierarchy
+        assert machine.hierarchy.llc.contains(0x1000)
+        assert not machine.hierarchy.l1d[1].contains(0x1000)
+
+    def test_custom_geometry_propagates(self):
+        geometry = HierarchyGeometry(llc=CacheGeometry(512, 8))
+        machine = Machine(MachineConfig(n_cores=1, geometry=geometry))
+        assert machine.hierarchy.llc.geometry.n_sets == 512
+
+    def test_custom_latency_propagates(self):
+        latency = LatencyModel(dram=500)
+        machine = Machine(MachineConfig(n_cores=1, latency=latency))
+        assert machine.core(0).latency.dram == 500
+        assert machine.hierarchy.access(0, 0x9000) == 500
+
+    def test_btbs_are_per_core(self):
+        machine = Machine(MachineConfig(n_cores=2))
+        machine.btbs[0].on_control_transfer(0x100, 0x200)
+        assert machine.btbs[1].predict(0x100) is None
+
+
+class TestEnclaveTask:
+    def test_enclave_flag_set(self):
+        task = make_enclave_task("e", StraightlineProgram(total=10))
+        assert task.enclave
+        assert isinstance(task.body, ProgramBody)
+
+    def test_spec_window_override(self):
+        task = make_enclave_task(
+            "e", StraightlineProgram(total=10), spec_window=0
+        )
+        assert task.body.spec_window == 0
+
+    def test_nice_passthrough(self):
+        task = make_enclave_task(
+            "e", StraightlineProgram(total=10), nice=5
+        )
+        assert task.nice == 5
+
+    def test_plain_task_not_enclave_by_default(self):
+        from repro.kernel.threads import ComputeBody
+        from repro.sched.task import Task
+
+        assert not Task("t", body=ComputeBody()).enclave

@@ -1,0 +1,38 @@
+"""The repro.mitigations public API."""
+
+from repro.mitigations import (
+    aex_notify,
+    min_scheduling_interval,
+    no_wakeup_preemption,
+)
+
+
+class TestConfigurations:
+    def test_no_wakeup_preemption(self):
+        features = no_wakeup_preemption()
+        assert features.wakeup_preemption is False
+
+    def test_min_scheduling_interval(self):
+        features = min_scheduling_interval(2_000_000.0)
+        assert features.wakeup_preemption is True
+        assert features.wakeup_min_slice_ns == 2_000_000.0
+
+    def test_aex_notify(self):
+        config = aex_notify(depth=64)
+        assert config.aex_notify_depth == 64
+
+    def test_aex_notify_default_depth(self):
+        assert aex_notify().aex_notify_depth == 80
+
+
+class TestPublicPackage:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

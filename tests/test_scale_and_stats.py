@@ -1,0 +1,69 @@
+"""Experiment scaling knob and microarchitectural statistics."""
+
+from repro.cpu.isa import load, nop
+from repro.cpu.machine import Machine, MachineConfig
+from repro.experiments.setup import scale_factor, scaled
+
+
+class TestReproScale(object):
+    def test_env_var_controls_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert scale_factor() == 0.5
+        assert scaled(1000, minimum=1) == 500
+
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scaled(80_000, minimum=20) == 4000
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        assert scaled(1000, minimum=50) == 50
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1")
+        assert scaled(80_000) == 80_000
+
+
+class TestStats:
+    def test_core_counts_retirements_and_loads(self):
+        machine = Machine(MachineConfig(n_cores=1))
+        core = machine.core(0)
+        core.execute(1, nop(0x400000))
+        core.execute(1, load(0x400004, 0x600000))
+        assert core.stats.instructions_retired == 2
+        assert core.stats.loads == 1
+        assert core.stats.stores == 0
+
+    def test_cache_hit_miss_counters(self):
+        machine = Machine(MachineConfig(n_cores=1))
+        hierarchy = machine.hierarchy
+        hierarchy.access(0, 0x1000)
+        hierarchy.access(0, 0x1000)
+        assert hierarchy.l1d[0].misses == 1
+        assert hierarchy.l1d[0].hits == 1
+
+    def test_tlb_counters(self):
+        machine = Machine(MachineConfig(n_cores=1))
+        tlbs = machine.tlbs
+        tlbs.translate_fetch(0, 1, 0x400000)
+        tlbs.translate_fetch(0, 1, 0x400000)
+        assert tlbs.itlb[0].misses == 1
+        assert tlbs.itlb[0].hits == 1
+
+    def test_btb_counters(self):
+        machine = Machine(MachineConfig(n_cores=1))
+        btb = machine.btbs[0]
+        btb.on_control_transfer(0x100, 0x200)
+        btb.on_plain_instruction(0x100)
+        assert btb.allocations == 1
+        assert btb.invalidations == 1
+
+    def test_speculative_issue_counter(self):
+        from repro.cpu.program import TraceProgram
+
+        machine = Machine(MachineConfig(n_cores=1))
+        core = machine.core(0)
+        program = TraceProgram([nop(0x400000), load(0x400004, 0x600000)])
+        program.retire()
+        core.speculate(1, program, window=2)
+        assert core.stats.speculative_issues == 1

@@ -1,0 +1,55 @@
+"""Table 2.1: scheduler tunables derived from the core count."""
+
+import pytest
+
+from repro.sched.params import SchedParams, scaling_factor
+
+MS = 1_000_000
+
+
+class TestScalingFactor:
+    @pytest.mark.parametrize(
+        "cores,nu",
+        [(1, 1), (2, 2), (4, 3), (8, 4), (16, 4), (64, 4)],
+    )
+    def test_nu(self, cores, nu):
+        assert scaling_factor(cores) == nu
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            scaling_factor(0)
+
+
+class TestTable2_1:
+    """The paper's evaluated 16-core machine."""
+
+    def test_sixteen_core_values(self):
+        p = SchedParams.for_cores(16)
+        assert p.s_bnd == 24 * MS
+        assert p.s_min == 3 * MS
+        assert p.s_slack == 12 * MS
+        assert p.s_preempt == 4 * MS
+
+    def test_preemption_budget_is_8ms(self):
+        assert SchedParams.for_cores(16).preemption_budget == 8 * MS
+
+    def test_gentle_fair_sleepers_halves_slack(self):
+        gentle = SchedParams.for_cores(16, gentle_fair_sleepers=True)
+        harsh = SchedParams.for_cores(16, gentle_fair_sleepers=False)
+        assert gentle.s_slack == harsh.s_bnd // 2
+        assert harsh.s_slack == harsh.s_bnd
+
+    def test_slack_exceeds_preempt_threshold(self):
+        """S_slack > S_preempt is the entire basis of the attack (§4.1);
+        it must hold for every core count."""
+        for cores in (1, 2, 4, 8, 16, 32, 128):
+            p = SchedParams.for_cores(cores)
+            assert p.s_slack > p.s_preempt
+
+    def test_single_core_values(self):
+        p = SchedParams.for_cores(1)
+        assert p.s_bnd == 6 * MS
+        assert p.s_preempt == 1 * MS
+
+    def test_base_slice_scales(self):
+        assert SchedParams.for_cores(16).base_slice == 3 * MS

@@ -1,0 +1,109 @@
+"""System-level scheduler properties under random workloads.
+
+Hypothesis drives the full kernel with random task mixes and checks the
+invariants any sane scheduler must keep — the backdrop against which
+the attack's *legal* exploitation of wakeup placement stands out.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.setup import build_env
+from repro.kernel.threads import ComputeBody
+from repro.sched.task import Task, TaskState
+
+MS = 1_000_000
+
+nice_values = st.lists(
+    st.integers(min_value=-10, max_value=10), min_size=2, max_size=5
+)
+
+
+class TestFairness:
+    @given(nice_values)
+    @settings(max_examples=15, deadline=None)
+    def test_cpu_time_proportional_to_weight(self, nices):
+        """Over a long window, CPU shares track load weights (CFS's
+        contract), within tick-granularity error."""
+        env = build_env("cfs", n_cores=1, seed=1)
+        tasks = [
+            Task(f"t{i}", body=ComputeBody(), nice=nice)
+            for i, nice in enumerate(nices)
+        ]
+        for task in tasks:
+            env.kernel.spawn(task, cpu=0)
+        horizon = 400 * MS
+        env.kernel.run_until(max_time=horizon)
+        total_weight = sum(t.weight for t in tasks)
+        total_time = sum(t.sum_exec_runtime for t in tasks)
+        assert total_time > 0.95 * horizon  # work conservation
+        for task in tasks:
+            share = task.sum_exec_runtime / total_time
+            expected = task.weight / total_weight
+            assert abs(share - expected) < 0.12
+
+    @given(nice_values)
+    @settings(max_examples=10, deadline=None)
+    def test_vruntime_spread_stays_bounded(self, nices):
+        """The fair-scheduling invariant: runnable vruntimes never drift
+        apart by more than ~S_bnd."""
+        env = build_env("cfs", n_cores=1, seed=2)
+        tasks = [
+            Task(f"t{i}", body=ComputeBody(), nice=nice)
+            for i, nice in enumerate(nices)
+        ]
+        for task in tasks:
+            env.kernel.spawn(task, cpu=0)
+        env.kernel.run_until(max_time=200 * MS)
+        vruntimes = [t.vruntime for t in tasks]
+        spread = max(vruntimes) - min(vruntimes)
+        # A task is protected for S_min of *wall* time per slice, which
+        # is S_min·(1024/weight) of vruntime — the granularity floor of
+        # the invariant for light tasks.
+        granularity = env.params.s_min * 1024 / min(t.weight for t in tasks)
+        assert spread <= env.params.s_bnd + granularity
+
+    @given(nice_values)
+    @settings(max_examples=10, deadline=None)
+    def test_eevdf_also_work_conserving_and_fair(self, nices):
+        env = build_env("eevdf", n_cores=1, seed=3)
+        tasks = [
+            Task(f"t{i}", body=ComputeBody(), nice=nice)
+            for i, nice in enumerate(nices)
+        ]
+        for task in tasks:
+            env.kernel.spawn(task, cpu=0)
+        horizon = 400 * MS
+        env.kernel.run_until(max_time=horizon)
+        total_weight = sum(t.weight for t in tasks)
+        total_time = sum(t.sum_exec_runtime for t in tasks)
+        assert total_time > 0.95 * horizon
+        for task in tasks:
+            share = task.sum_exec_runtime / total_time
+            expected = task.weight / total_weight
+            assert abs(share - expected) < 0.12
+
+
+class TestMonotonicity:
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_task_vruntime_never_decreases(self, seed):
+        env = build_env("cfs", n_cores=1, seed=seed, sample_vruntime=True)
+        a = Task("a", body=ComputeBody())
+        b = Task("b", body=ComputeBody())
+        env.kernel.spawn(a, cpu=0)
+        env.kernel.spawn(b, cpu=0)
+        env.kernel.run_until(max_time=50 * MS)
+        history = {}
+        for sample in env.tracer.vruntime_samples:
+            last = history.get(sample.pid)
+            assert last is None or sample.vruntime >= last - 1e-6
+            history[sample.pid] = sample.vruntime
+
+    def test_all_tasks_eventually_run(self):
+        env = build_env("cfs", n_cores=1, seed=0)
+        tasks = [Task(f"t{i}", body=ComputeBody()) for i in range(4)]
+        for task in tasks:
+            env.kernel.spawn(task, cpu=0)
+        env.kernel.run_until(max_time=100 * MS)
+        assert all(t.sum_exec_runtime > 0 for t in tasks)
+        assert all(t.state is not TaskState.SLEEPING for t in tasks)

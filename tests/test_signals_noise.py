@@ -1,0 +1,131 @@
+"""Inter-task signals and the cross-core polluter."""
+
+import pytest
+
+from repro.experiments.channel_noise import (
+    PolluterConfig,
+    make_polluter,
+    spawn_polluter,
+)
+from repro.experiments.setup import build_env
+from repro.kernel import actions as act
+from repro.kernel.threads import ComputeBody, CoroutineBody
+from repro.sched.task import Task, TaskState
+
+MS = 1_000_000
+
+
+class TestSignalTask:
+    def test_signal_wakes_paused_task(self):
+        env = build_env(seed=0)
+        woke = []
+
+        def waiter():
+            yield act.Pause()
+            now = yield act.GetTime()
+            woke.append(now)
+            yield act.Exit()
+
+        def signaller(target_pid):
+            yield act.Compute(1 * MS)
+            yield act.SignalTask(target_pid)
+            yield act.Exit()
+
+        waiting = Task("waiter", body=CoroutineBody(waiter()))
+        env.kernel.spawn(waiting, cpu=0)
+        env.kernel.spawn(
+            Task("signaller", body=CoroutineBody(signaller(waiting.pid))),
+            cpu=0,
+        )
+        env.kernel.run_until(max_time=1e9)
+        assert waiting.state is TaskState.EXITED
+        assert woke and woke[0] >= 1 * MS
+
+    def test_signal_to_runnable_task_is_noop(self):
+        env = build_env(seed=0)
+
+        def signaller(target_pid):
+            yield act.SignalTask(target_pid)
+            yield act.Exit()
+
+        runnable = Task("busy", body=ComputeBody())
+        env.kernel.spawn(runnable, cpu=0)
+        env.kernel.spawn(
+            Task("signaller", body=CoroutineBody(signaller(runnable.pid))),
+            cpu=0,
+        )
+        env.kernel.run_until(max_time=20 * MS)
+        assert runnable.state is not TaskState.EXITED  # unharmed
+
+    def test_signal_unknown_pid_raises(self):
+        env = build_env(seed=0)
+
+        def signaller():
+            yield act.SignalTask(999_999)
+
+        env.kernel.spawn(Task("s", body=CoroutineBody(signaller())), cpu=0)
+        with pytest.raises(ValueError):
+            env.kernel.run_until(max_time=1e9)
+
+    def test_signal_wake_goes_through_preemption_check(self):
+        """A signalled well-slept thread preempts the current one —
+        signals are just another Scenario 2 entry point."""
+        env = build_env(seed=0)
+        victim = Task("victim", body=ComputeBody())
+
+        def sleeper():
+            yield act.Nanosleep(100 * MS)  # bank sleeper credit
+            yield act.Pause()
+            yield act.Compute(1000.0)
+            yield act.Exit()
+
+        def signaller(target_pid):
+            yield act.Nanosleep(200 * MS)
+            yield act.SignalTask(target_pid)
+            yield act.Exit()
+
+        sleeping = Task("sleeper", body=CoroutineBody(sleeper()))
+        env.kernel.spawn(victim, cpu=0)
+        env.kernel.spawn(sleeping, cpu=0)
+        env.kernel.spawn(
+            Task("sig", body=CoroutineBody(signaller(sleeping.pid))), cpu=0
+        )
+        env.kernel.run_until(
+            predicate=lambda: sleeping.state is TaskState.EXITED,
+            max_time=1e9,
+        )
+        wakes = [w for w in env.tracer.wakeups if w.pid == sleeping.pid]
+        assert any(w.preempted for w in wakes)
+
+
+class TestPolluter:
+    def test_polluter_touches_target_lines(self):
+        env = build_env(n_cores=2, seed=3)
+        config = PolluterConfig(cpu=1, target_fraction=1.0,
+                                target_base=0x600000, target_lines=4)
+        task = make_polluter(config, env.rng)
+        env.kernel.spawn(task, cpu=1)
+        env.kernel.run_until(max_time=1 * MS)
+        touched = sum(
+            1 for i in range(4)
+            if env.machine.hierarchy.is_cached_anywhere(0x600000 + 64 * i)
+        )
+        assert touched >= 2
+
+    def test_polluter_pins_to_its_cpu(self):
+        env = build_env(n_cores=2, seed=3)
+        task = spawn_polluter(env.kernel, cpu=1, rng=env.rng)
+        env.kernel.run_until(max_time=5 * MS)
+        assert task.cpu == 1
+        assert task.allowed_cpus == frozenset({1})
+
+    def test_zero_fraction_never_touches_target(self):
+        env = build_env(n_cores=2, seed=3)
+        config = PolluterConfig(cpu=1, target_fraction=0.0,
+                                target_base=0x600000, target_lines=4)
+        env.kernel.spawn(make_polluter(config, env.rng), cpu=1)
+        env.kernel.run_until(max_time=2 * MS)
+        assert not any(
+            env.machine.hierarchy.is_cached_anywhere(0x600000 + 64 * i)
+            for i in range(4)
+        )

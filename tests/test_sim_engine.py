@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_call_at_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(30.0, lambda: order.append("c"))
+        sim.call_at(10.0, lambda: order.append("a"))
+        sim.call_at(20.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_call_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(100.0, lambda: sim.call_after(5.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [105.0]
+
+    def test_same_time_events_run_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.call_at(7.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_same_time_ties(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(7.0, lambda: order.append("low"), priority=10)
+        sim.call_at(7.0, lambda: order.append("high"), priority=-10)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.call_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.call_after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_at(10.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.call_at(10.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.call_at(10.0, lambda: None)
+        drop = sim.call_at(20.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_count() == 1
+        assert not keep.cancelled
+
+    def test_peek_next_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.call_at(10.0, lambda: None)
+        sim.call_at(20.0, lambda: None)
+        first.cancel()
+        assert sim.peek_next_time() == 20.0
+
+
+class TestRunControl:
+    def test_run_until_stops_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(10.0, lambda: fired.append(10))
+        sim.call_at(30.0, lambda: fired.append(30))
+        sim.run_until(20.0)
+        assert fired == [10]
+        assert sim.now == 20.0
+
+    def test_run_until_includes_events_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(20.0, lambda: fired.append(20))
+        sim.run_until(20.0)
+        assert fired == [20]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(55.0)
+        assert sim.now == 55.0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_max_events_bounds_run(self):
+        sim = Simulator()
+        count = sim_count = 0
+
+        def reschedule():
+            sim.call_after(1.0, reschedule)
+
+        sim.call_after(1.0, reschedule)
+        executed = sim.run(max_events=25)
+        assert executed == 25
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=1,
+                    max_size=50))
+    def test_events_always_execute_in_nondecreasing_time(self, times):
+        sim = Simulator()
+        executed = []
+        for t in times:
+            sim.call_at(t, lambda t=t: executed.append(sim.now))
+        sim.run()
+        assert executed == sorted(executed)
+        assert len(executed) == len(times)

@@ -1,0 +1,119 @@
+"""Kernel tracer queries and the cost model."""
+
+import pytest
+
+from repro.kernel.costs import CostModel, CostParams
+from repro.kernel.tracing import ExitToUserRecord, KernelTracer, SwitchRecord
+from repro.sim.rng import RngStreams
+
+
+def exit_record(pid, time=0.0, retired=None):
+    return ExitToUserRecord(time=time, cpu=0, pid=pid, pc=None,
+                            retired=retired)
+
+
+class TestRetiredPerPreemption:
+    def test_deltas_between_attacker_interleavings(self):
+        tracer = KernelTracer()
+        for record in [
+            exit_record(1, 0.0, retired=100),
+            exit_record(2, 1.0),
+            exit_record(1, 2.0, retired=105),
+            exit_record(2, 3.0),
+            exit_record(1, 4.0, retired=106),
+        ]:
+            tracer.record_exit(record)
+        assert tracer.retired_per_preemption(1, 2) == [5, 1]
+
+    def test_no_sample_without_attacker_between(self):
+        tracer = KernelTracer()
+        for record in [
+            exit_record(1, 0.0, retired=100),
+            exit_record(1, 1.0, retired=200),  # no attacker in between
+            exit_record(2, 2.0),
+            exit_record(1, 3.0, retired=201),
+        ]:
+            tracer.record_exit(record)
+        assert tracer.retired_per_preemption(1, 2) == [1]
+
+
+class TestConsecutivePreemptions:
+    def test_stop_rule_two_victim_exits(self):
+        """The paper's stop rule: count until two consecutive exits to
+        the victim with no attacker interleaving."""
+        tracer = KernelTracer()
+        sequence = [2, 1, 2, 1, 2, 1, 1, 2, 2]  # stops at the 1,1
+        for t, pid in enumerate(sequence):
+            tracer.record_exit(exit_record(pid, float(t)))
+        assert tracer.consecutive_preemptions(1, 2) == 3
+
+    def test_counting_starts_at_first_attacker_exit(self):
+        tracer = KernelTracer()
+        for t, pid in enumerate([1, 1, 1, 2, 1, 2, 1, 1]):
+            tracer.record_exit(exit_record(pid, float(t)))
+        assert tracer.consecutive_preemptions(1, 2) == 2
+
+    def test_no_attacker_means_zero(self):
+        tracer = KernelTracer()
+        tracer.record_exit(exit_record(1))
+        assert tracer.consecutive_preemptions(1, 2) == 0
+
+
+class TestVruntimeSampling:
+    def test_disabled_by_default(self):
+        tracer = KernelTracer()
+        tracer.record_vruntime(1.0, 7, 100.0)
+        assert tracer.vruntime_samples == []
+
+    def test_enabled(self):
+        tracer = KernelTracer(sample_vruntime=True)
+        tracer.record_vruntime(1.0, 7, 100.0)
+        assert len(tracer.vruntime_samples) == 1
+
+
+class TestCostModel:
+    def _model(self):
+        return CostModel(RngStreams(seed=0))
+
+    def test_costs_positive_and_near_mean(self):
+        model = self._model()
+        params = model.params
+        draws = [model.context_switch() for _ in range(200)]
+        assert all(d > 0 for d in draws)
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(params.switch_mean, rel=0.05)
+
+    def test_slack_draw_bounds(self):
+        model = self._model()
+        for _ in range(100):
+            draw = model.timer_slack_draw(50_000.0)
+            assert 0.0 <= draw <= 50_000.0
+
+    def test_one_ns_slack_is_exact(self):
+        assert self._model().timer_slack_draw(1.0) == 0.0
+
+    def test_round_trip_estimate_composition(self):
+        model = self._model()
+        p = model.params
+        assert model.expected_round_trip() == pytest.approx(
+            p.syscall_entry_mean + 2 * p.switch_mean
+            + p.timer_fire_mean + p.irq_entry_mean
+        )
+
+    def test_deterministic_across_instances(self):
+        a = CostModel(RngStreams(seed=9)).irq_entry()
+        b = CostModel(RngStreams(seed=9)).irq_entry()
+        assert a == b
+
+    def test_sgx_paths_heavier_than_switch(self):
+        model = self._model()
+        assert model.aex() > model.params.switch_mean
+        assert model.eresume() > model.params.switch_mean
+
+    def test_jitter_small_relative_to_window(self):
+        """The wake-path σ must stay well below the Goldilocks windows
+        (~tens of ns), or no τ could single-step (§4.2)."""
+        p = CostParams()
+        total_sd = (p.syscall_entry_sd**2 + p.switch_sd**2
+                    + p.timer_fire_sd**2) ** 0.5
+        assert total_sd < 60.0

@@ -1,0 +1,134 @@
+"""T-table AES correctness and trace structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.isa import InstrKind
+from repro.victims.aes_ttable import (
+    TABLE_BYTE_POSITIONS,
+    TABLES,
+    TTableAes,
+    build_aes_program,
+    expand_key,
+    ttable_entry_addr,
+    ttable_line_addrs,
+)
+
+FIPS_KEY = bytes(range(16))
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+class TestCorrectness:
+    def test_fips197_vector(self):
+        assert TTableAes(FIPS_KEY).encrypt(FIPS_PT) == FIPS_CT
+
+    def test_sp800_38a_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ct = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert TTableAes(key).encrypt(pt) == ct
+
+    def test_key_schedule_fips_final_word(self):
+        words = expand_key(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        assert len(words) == 44
+        assert words[43] == 0xB6630CA6  # FIPS-197 appendix A.1
+
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            TTableAes(b"short")
+        with pytest.raises(ValueError):
+            TTableAes(FIPS_KEY).encrypt(b"short")
+
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30)
+    def test_deterministic_and_length(self, key, pt):
+        a = TTableAes(key).encrypt(pt)
+        b = TTableAes(key).encrypt(pt)
+        assert a == b
+        assert len(a) == 16
+
+
+class TestAccessTrace:
+    def test_160_table_lookups(self):
+        trace = TTableAes(FIPS_KEY).encrypt_trace(FIPS_PT)
+        assert len(trace.accesses) == 9 * 16  # 9 T-table rounds × 16
+
+    def test_first_round_indices_are_p_xor_k(self):
+        aes = TTableAes(FIPS_KEY)
+        trace = aes.encrypt_trace(FIPS_PT)
+        first = trace.first_round_accesses()
+        # First four accesses use bytes x0, x5, x10, x15 on T0..T3.
+        x = [FIPS_PT[i] ^ FIPS_KEY[i] for i in range(16)]
+        assert first[0] == (0, 0, x[0])
+        assert first[1] == (0, 1, x[5])
+        assert first[2] == (0, 2, x[10])
+        assert first[3] == (0, 3, x[15])
+
+    def test_table_byte_positions_match_equations(self):
+        """TABLE_BYTE_POSITIONS must agree with the per-table access
+        order the trace actually produces."""
+        aes = TTableAes(FIPS_KEY)
+        trace = aes.encrypt_trace(FIPS_PT)
+        x = [FIPS_PT[i] ^ FIPS_KEY[i] for i in range(16)]
+        for table in range(4):
+            indices = [
+                access[2]
+                for access in trace.first_round_accesses()
+                if access[1] == table
+            ]
+            expected = [x[pos] for pos in TABLE_BYTE_POSITIONS[table]]
+            assert indices == expected
+
+    def test_upper_nibbles_ground_truth(self):
+        aes = TTableAes(FIPS_KEY)
+        nibbles = aes.first_round_upper_nibbles(FIPS_PT)
+        assert nibbles == [(FIPS_PT[i] ^ FIPS_KEY[i]) >> 4 for i in range(16)]
+
+
+class TestTables:
+    def test_tables_are_rotations(self):
+        """Te1..Te3 are byte rotations of Te0 (OpenSSL structure)."""
+        te0, te1, te2, te3 = TABLES
+        for x in (0, 7, 255):
+            v = te0[x]
+            rot = ((v >> 8) | (v << 24)) & 0xFFFFFFFF
+            assert te1[x] == rot
+
+    def test_entry_addresses(self):
+        assert ttable_entry_addr(0, 0) + 1024 == ttable_entry_addr(1, 0)
+        assert ttable_entry_addr(0, 16) - ttable_entry_addr(0, 0) == 64
+
+    def test_line_addrs_cover_table(self):
+        lines = ttable_line_addrs(2)
+        assert len(lines) == 16
+        assert lines[0] == ttable_entry_addr(2, 0)
+        assert all(b - a == 64 for a, b in zip(lines, lines[1:]))
+
+
+class TestProgramLowering:
+    def test_loads_match_trace(self):
+        aes = TTableAes(FIPS_KEY)
+        program = build_aes_program(aes, FIPS_PT)
+        loads = [
+            i for i in program.instructions if i.kind is InstrKind.LOAD
+        ]
+        trace = aes.encrypt_trace(FIPS_PT)
+        assert len(loads) == len(trace.accesses)
+        for inst, (rnd, table, index) in zip(loads, trace.accesses):
+            assert inst.mem_addr == ttable_entry_addr(table, index)
+            assert inst.label.startswith(f"r{rnd}:t{table}")
+
+    def test_pcs_strictly_increase(self):
+        program = build_aes_program(TTableAes(FIPS_KEY), FIPS_PT)
+        pcs = [i.pc for i in program.instructions]
+        assert pcs == sorted(pcs)
+        assert len(set(pcs)) == len(pcs)
+
+    def test_nop_spacing_configurable(self):
+        small = build_aes_program(TTableAes(FIPS_KEY), FIPS_PT,
+                                  nops_between_accesses=1)
+        big = build_aes_program(TTableAes(FIPS_KEY), FIPS_PT,
+                                nops_between_accesses=5)
+        assert len(big) > len(small)

@@ -1,0 +1,143 @@
+"""Base64 decoder correctness and trace structure."""
+
+import base64
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.isa import InstrKind
+from repro.victims.base64_lut import (
+    GROUP_CHARS,
+    LUT,
+    build_decode_program,
+    decode,
+    ground_truth_lines,
+    lut_addr,
+    lut_line_addrs,
+    lut_line_of,
+)
+
+
+class TestDecodeCorrectness:
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=100)
+    def test_roundtrip_against_stdlib(self, data):
+        encoded = base64.b64encode(data).decode()
+        assert decode(encoded) == data
+
+    def test_newlines_skipped(self):
+        encoded = base64.b64encode(b"hello world!").decode()
+        wrapped = encoded[:8] + "\n" + encoded[8:] + "\r\n"
+        assert decode(wrapped) == b"hello world!"
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(ValueError):
+            decode("QUJ$")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            decode("QUJ")
+
+    def test_data_after_padding_rejected(self):
+        with pytest.raises(ValueError):
+            decode("QQ==QQ==")
+
+
+class TestLut:
+    def test_two_cache_lines(self):
+        lines = lut_line_addrs()
+        assert len(lines) == 2
+        assert lines[1] - lines[0] == 64
+
+    def test_line_split_at_ascii_64(self):
+        assert lut_line_of("A") == 1  # ord 65
+        assert lut_line_of("z") == 1
+        assert lut_line_of("0") == 0  # ord 48
+        assert lut_line_of("+") == 0
+        assert lut_line_of("/") == 0
+        assert lut_line_of("=") == 0
+
+    def test_lut_values(self):
+        assert LUT[ord("A")] == 0
+        assert LUT[ord("/")] == 63
+        assert LUT[ord("$")] == 0xFF
+
+    def test_ground_truth_lines(self):
+        assert ground_truth_lines("A0") == [1, 0]
+
+    def test_lut_addr_within_lines(self):
+        for char in "Az09+/":
+            addr = lut_addr(char)
+            assert addr in range(lut_line_addrs()[0], lut_line_addrs()[0] + 128)
+
+
+class TestProgramLowering:
+    TEXT = base64.b64encode(bytes(range(96))).decode()  # 128 chars
+
+    def test_validity_loads_one_per_char(self):
+        info = build_decode_program(self.TEXT)
+        validity = [
+            i for i in info.program.instructions
+            if i.label.startswith("validity")
+        ]
+        assert len(validity) == len(self.TEXT)
+        for index, inst in enumerate(validity):
+            assert inst.label == f"validity:{index}"
+            assert inst.mem_addr == lut_addr(self.TEXT[index])
+
+    def test_validity_loads_at_fixed_pc(self):
+        info = build_decode_program(self.TEXT)
+        validity_pcs = {
+            i.pc
+            for i in info.program.instructions
+            if i.label.startswith("validity")
+        }
+        assert validity_pcs == {info.validity_load_pc}
+
+    def test_decode_loads_cover_all_chars(self):
+        info = build_decode_program(self.TEXT)
+        decode_labels = [
+            int(i.label.split(":")[1])
+            for i in info.program.instructions
+            if i.label.startswith("decode")
+        ]
+        assert decode_labels == list(range(len(self.TEXT)))
+
+    def test_group_structure(self):
+        """Validity loop of group k precedes decode loop of group k."""
+        info = build_decode_program(self.TEXT)
+        phases = []
+        for inst in info.program.instructions:
+            if inst.label.startswith("validity"):
+                phases.append(("v", int(inst.label.split(":")[1])))
+            elif inst.label.startswith("decode"):
+                phases.append(("d", int(inst.label.split(":")[1])))
+        # First group: validity 0..63 then decode 0..63.
+        v_first = [i for kind, i in phases if kind == "v"][:GROUP_CHARS]
+        assert v_first == list(range(GROUP_CHARS))
+        first_decode_pos = next(
+            k for k, (kind, _) in enumerate(phases) if kind == "d"
+        )
+        assert all(kind == "v" for kind, _ in phases[:first_decode_pos])
+
+    def test_lvi_flag_controls_fences(self):
+        fenced = build_decode_program(self.TEXT, lvi_mitigated=True)
+        plain = build_decode_program(self.TEXT, lvi_mitigated=False)
+        assert all(
+            i.fenced for i in fenced.program.instructions
+            if i.kind is InstrKind.LOAD
+        )
+        assert not any(
+            i.fenced for i in plain.program.instructions
+            if i.kind is InstrKind.LOAD
+        )
+
+    def test_ground_truth_recorded(self):
+        info = build_decode_program(self.TEXT)
+        assert info.ground_truth == ground_truth_lines(self.TEXT)
+        assert info.char_count == len(self.TEXT)
+
+    def test_loops_on_distinct_lines(self):
+        from repro.victims.base64_lut import DECODE_LOOP_PC, VALIDITY_LOOP_PC
+
+        assert VALIDITY_LOOP_PC // 64 != DECODE_LOOP_PC // 64
