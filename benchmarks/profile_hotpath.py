@@ -1,0 +1,52 @@
+"""cProfile the serial simulation hot path.
+
+The micro-optimizations in ``sim.engine``, ``uarch.cache``,
+``uarch.tlb``, ``cpu.isa``, ``cpu.program`` and ``cpu.core`` were
+guided by this profile (committed as ``PROFILE_seed.txt`` for the
+pre-optimization tree and ``PROFILE_optimized.txt`` for the current
+one).  Re-run after touching the hot path:
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py [output.txt]
+
+The workload is one Fig 4.3-style resolution cell — the inner loop
+every τ-sweep benchmark multiplies by dozens of cells.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+
+PREEMPTIONS = 400
+TOP = 35
+
+
+def workload() -> None:
+    from repro.experiments.resolution import run_resolution
+
+    run_resolution(740.0, degrade_itlb=True, preemptions=PREEMPTIONS, seed=1)
+
+
+def main() -> int:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(TOP)
+    stats.sort_stats("tottime").print_stats(TOP)
+    text = out.getvalue()
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as fh:
+            fh.write(text)
+        print(f"wrote {sys.argv[1]}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -169,12 +169,18 @@ def random_prime_pairs(
 
 
 def run_btb_accuracy_experiment(
-    *, n_pairs: int = 30, seed: int = 0, scheduler: str = "cfs"
+    *, n_pairs: int = 30, seed: int = 0, scheduler: str = "cfs",
+    jobs: Optional[int] = None,
 ) -> List[BtbAttackResult]:
-    """§5.3's statistic: 30 prime pairs, single-run branch recovery."""
-    results = []
-    for index, (p, q) in enumerate(random_prime_pairs(n_pairs, seed=seed)):
-        results.append(
-            run_btb_gcd_attack(p, q, seed=seed + index * 101, scheduler=scheduler)
-        )
-    return results
+    """§5.3's statistic: 30 prime pairs, single-run branch recovery.
+
+    The pair list is generated up front (pure function of ``seed``);
+    each pair's single-run recovery is an independent trial.
+    """
+    from repro.parallel import starmap_kwargs
+
+    cells = [
+        dict(a=p, b=q, seed=seed + index * 101, scheduler=scheduler)
+        for index, (p, q) in enumerate(random_prime_pairs(n_pairs, seed=seed))
+    ]
+    return starmap_kwargs(run_btb_gcd_attack, cells, jobs=jobs)

@@ -111,6 +111,18 @@ class PhasedProgram(Program):
             return self.startup.loop_profile(index)
         return None
 
+    def steady_state(self, index: int):
+        # Uniform only inside the startup spin; the final loop plus the
+        # tail/payload always execute per-instruction (they are what the
+        # attacker observes).
+        limit = self.startup_insts - self.startup.loop_insts
+        if index >= limit:
+            return None
+        state = self.startup.steady_state(index)
+        if state is None:
+            return None
+        return state[0], limit - index
+
     @property
     def payload_retired(self) -> int:
         return max(0, self.retired - self.payload_start)

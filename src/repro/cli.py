@@ -4,12 +4,18 @@ Gives downstream users one-line access to the paper's experiments
 without writing harness code:
 
     python -m repro resolution --tau 740 --degrade
+    python -m repro sweep --taus 440,740,1040 --jobs 4
     python -m repro budget --extra 12000 --scheduler eevdf
-    python -m repro aes --keys 5
+    python -m repro aes --keys 5 --jobs 4
     python -m repro sgx
     python -m repro btb --pairs 5
-    python -m repro colocation
+    python -m repro colocation --trials 20
     python -m repro mitigations
+
+``--jobs N`` fans independent trials out over a process pool; ``--jobs
+0`` means "all cores" (``os.cpu_count()``).  Results are bit-identical
+to a serial run regardless of N — every trial derives its seed from the
+root ``--seed`` and a stable identity, never from execution order.
 """
 
 from __future__ import annotations
@@ -38,6 +44,25 @@ def _cmd_resolution(args: argparse.Namespace) -> None:
     print(run.stats.describe())
 
 
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.experiments.resolution import tau_sweep
+
+    taus = [float(t) for t in args.taus.split(",")]
+    runs = tau_sweep(
+        taus,
+        degrade_itlb=args.degrade,
+        scheduler=args.scheduler,
+        preemptions=args.preemptions,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    print(f"τ sweep on {args.scheduler}"
+          + (" + iTLB eviction" if args.degrade else "")
+          + f" ({len(taus)} cells, jobs={args.jobs}):")
+    for run in runs:
+        print(f"τ={run.tau:7.0f} ns  {run.stats.describe()}")
+
+
 def _cmd_budget(args: argparse.Namespace) -> None:
     from repro.experiments.preemption_count import run_budget_measurement
 
@@ -58,7 +83,7 @@ def _cmd_aes(args: argparse.Namespace) -> None:
 
     result = run_aes_accuracy_experiment(
         n_keys=args.keys, n_traces=args.traces,
-        scheduler=args.scheduler, seed=args.seed,
+        scheduler=args.scheduler, seed=args.seed, jobs=args.jobs,
     )
     print(f"AES first-round attack, {args.keys} keys × {args.traces} traces "
           f"({args.scheduler}):")
@@ -86,7 +111,9 @@ def _cmd_sgx(args: argparse.Namespace) -> None:
 def _cmd_btb(args: argparse.Namespace) -> None:
     from repro.attacks.btb_gcd import run_btb_accuracy_experiment
 
-    results = run_btb_accuracy_experiment(n_pairs=args.pairs, seed=args.seed)
+    results = run_btb_accuracy_experiment(
+        n_pairs=args.pairs, seed=args.seed, jobs=args.jobs
+    )
     mean = statistics.mean(r.accuracy for r in results)
     for r in results:
         print(f"gcd({r.a}, {r.b}): {r.iterations} iterations, "
@@ -96,6 +123,19 @@ def _cmd_btb(args: argparse.Namespace) -> None:
 
 
 def _cmd_colocation(args: argparse.Namespace) -> None:
+    if args.trials > 1:
+        from repro.experiments.colocation import run_colocation_campaign
+
+        campaign = run_colocation_campaign(
+            n_trials=args.trials, n_cores=args.cores,
+            seed=args.seed, jobs=args.jobs,
+        )
+        print(f"{args.cores}-core machine, {args.trials} independent trials:")
+        print(f"colocated on the target core: {campaign.successes}"
+              f"/{campaign.n_trials} ({campaign.success_rate:.0%})")
+        print(f"stayed colocated through the attack: {campaign.stayed}"
+              f"/{campaign.n_trials}")
+        return
     from repro.experiments.colocation import run_colocation
 
     outcome = run_colocation(n_cores=args.cores, seed=args.seed)
@@ -109,7 +149,10 @@ def _cmd_colocation(args: argparse.Namespace) -> None:
 def _cmd_mitigations(args: argparse.Namespace) -> None:
     from repro.experiments.mitigations import evaluate_mitigations
 
-    for r in evaluate_mitigations(rounds=args.rounds, seed=args.seed):
+    results = evaluate_mitigations(
+        rounds=args.rounds, seed=args.seed, jobs=args.jobs
+    )
+    for r in results:
         print(f"{r.name:<22} preemptions={r.consecutive_preemptions:<6} "
               f"median insts/preempt="
               f"{r.median_instructions_per_preemption:,.0f}")
@@ -121,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Controlled Preemption (ASPLOS 2025) reproduction",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for independent trials "
+             "(0 = all cores, 1 = serial; default: all cores)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("resolution", help="Fig 4.3/4.7 histogram cell")
@@ -130,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", choices=("cfs", "eevdf"), default="cfs")
     p.add_argument("--preemptions", type=int, default=1000)
     p.set_defaults(func=_cmd_resolution)
+
+    p = sub.add_parser("sweep", help="τ sweep (parallel resolution cells)")
+    p.add_argument("--taus", default="440,590,740,890,1040",
+                   help="comma-separated τ values (ns)")
+    p.add_argument("--degrade", action="store_true",
+                   help="evict the victim's iTLB entry each round")
+    p.add_argument("--scheduler", choices=("cfs", "eevdf"), default="cfs")
+    p.add_argument("--preemptions", type=int, default=1000)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("budget", help="Fig 4.4/4.5 preemption count")
     p.add_argument("--extra", type=float, default=12_000.0,
@@ -153,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("colocation", help="§4.4 colocation technique")
     p.add_argument("--cores", type=int, default=16)
+    p.add_argument("--trials", type=int, default=1,
+                   help="independent colocation attempts (>1 → campaign "
+                        "statistics over derived seeds)")
     p.set_defaults(func=_cmd_colocation)
 
     p = sub.add_parser("mitigations", help="§6 defence ablation")

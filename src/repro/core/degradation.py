@@ -38,6 +38,13 @@ class TlbEvictor:
         self.stlb_pages = build_tlb_eviction_set(
             TlbHierarchy.STLB, victim_code_addr, arena_base + (1 << 30)
         )
+        # The eviction set never changes, so the actions are built once:
+        # rebuilding ~20 frozen Instruction records every preemption
+        # round used to dominate the degraded hot path.
+        self._actions = tuple(
+            act.ExecInst(Instruction(pc=page_addr, kind=InstrKind.NOP))
+            for page_addr in self.itlb_pages + self.stlb_pages
+        )
 
     def degrade(self) -> Iterator[act.Action]:
         """Execute one NOP from each congruent page.
@@ -45,8 +52,10 @@ class TlbEvictor:
         Instruction fetches fill the attacker's translations into both
         TLB levels, displacing the victim's entry by set contention.
         """
-        for page_addr in self.itlb_pages + self.stlb_pages:
-            yield act.ExecInst(Instruction(pc=page_addr, kind=InstrKind.NOP))
+        # Must stay a generator: the kernel ``send()``s action results
+        # back into the consuming body.
+        for action in self._actions:
+            yield action
 
     @property
     def pages_touched(self) -> int:
@@ -67,12 +76,13 @@ class CodeLineStaller:
         self.eviction_set: List[int] = build_llc_eviction_set(
             llc_geometry, victim_inst_addr, arena_base, extra_ways
         )
+        self._actions = tuple(act.Load(addr) for addr in self.eviction_set)
 
     def degrade(self) -> Iterator[act.Action]:
         """Touch every line of the eviction set, filling the LLC set and
         (by inclusion) purging the victim's line from all caches."""
-        for addr in self.eviction_set:
-            yield act.Load(addr)
+        for action in self._actions:
+            yield action
 
 
 class CompositeDegrader:

@@ -26,7 +26,7 @@ from typing import Optional, Tuple
 
 from repro.cpu.isa import Instruction, InstrKind
 from repro.cpu.program import Program
-from repro.uarch.address import line_addr, page_number
+from repro.uarch.address import CACHE_LINE_SIZE, PAGE_SIZE
 from repro.uarch.btb import Btb
 from repro.uarch.cache import MemoryHierarchy
 from repro.uarch.timing import LatencyModel, cycles_to_ns
@@ -35,6 +35,12 @@ from repro.uarch.tlb import TlbHierarchy
 #: Upper bits preserved when the BTB's 32-bit target is resolved against
 #: the fetch region (see Btb docstring / Fig 5.3's 4 GiB padding).
 _REGION_MASK = ~((1 << 32) - 1)
+
+#: Inlined address math for the per-instruction fetch path
+#: (``pc >> _PAGE_SHIFT == page_number(pc)``,
+#: ``pc & _FETCH_LINE_MASK == line_addr(pc)``).
+_PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+_FETCH_LINE_MASK = ~(CACHE_LINE_SIZE - 1)
 
 
 @dataclass
@@ -62,6 +68,9 @@ class Core:
         self.tlbs = tlbs
         self.btb = btb
         self.latency = latency
+        # Hoisted conversion: the latency model is frozen, so the ns
+        # cost of a base instruction never changes after construction.
+        self._base_inst_ns = cycles_to_ns(latency.base_inst)
         self.stats = CoreStats()
         self._last_fetch_line: Optional[int] = None
         self._last_fetch_page: Optional[int] = None
@@ -88,12 +97,13 @@ class Core:
         Returns the cost in **nanoseconds** and applies all
         microarchitectural side effects.
         """
-        cycles = float(self.latency.base_inst)
+        lat = self.latency
+        cycles = float(lat.base_inst)
         if self._pipeline_cold:
-            cycles += self.latency.pipeline_refill
+            cycles += lat.pipeline_refill
             self._pipeline_cold = False
         if self._warmup_remaining > 0:
-            cycles += self.latency.frontend_warmup_extra
+            cycles += lat.frontend_warmup_extra
             self._warmup_remaining -= 1
         cycles += self._fetch(asid, inst.pc)
         predicted = self.btb.predict(inst.pc)
@@ -101,7 +111,7 @@ class Core:
             resolved = (inst.pc & _REGION_MASK) | (predicted & ~_REGION_MASK)
             self.hierarchy.prefetch(self.core_id, resolved, kind="inst")
             if resolved != inst.next_pc:
-                cycles += self.latency.branch_mispredict
+                cycles += lat.branch_mispredict
                 self.stats.mispredicts += 1
         if inst.kind.is_control_transfer:
             if inst.kind is not InstrKind.BRANCH or inst.taken:
@@ -120,7 +130,7 @@ class Core:
             self.hierarchy.access(self.core_id, inst.mem_addr, kind="data")
             self.stats.stores += 1
         if inst.fenced:
-            cycles += self.latency.lfence
+            cycles += lat.lfence
         self.stats.instructions_retired += 1
         return cycles_to_ns(cycles)
 
@@ -138,11 +148,11 @@ class Core:
     def _fetch(self, asid: int, pc: int) -> float:
         """Frontend cost for fetching ``pc``; 0 when staying on a warm line."""
         cycles = 0.0
-        page = page_number(pc)
+        page = pc >> _PAGE_SHIFT
         if page != self._last_fetch_page:
             cycles += self.tlbs.translate_fetch(self.core_id, asid, pc)
             self._last_fetch_page = page
-        line = line_addr(pc)
+        line = pc & _FETCH_LINE_MASK
         if line != self._last_fetch_line:
             latency = self.hierarchy.access(self.core_id, pc, kind="inst")
             if latency > self.latency.l1_hit:
@@ -174,6 +184,13 @@ class Core:
         t = start
         retired = 0
         while t < deadline:
+            steady = self._try_steady_fast_forward(asid, program, t, deadline)
+            if steady:
+                count, t = steady
+                program.retire_bulk(count)
+                self.stats.instructions_retired += count
+                retired += count
+                continue
             bulk_loops = self._try_loop_fast_forward(asid, program, t, deadline)
             if bulk_loops:
                 loops, elapsed = bulk_loops
@@ -196,20 +213,90 @@ class Core:
                 break
             run = program.uniform_region_length(program.retired)
             if run > 1 and not inst.fenced and self._warmup_remaining == 0:
-                per_inst = cycles_to_ns(self.latency.base_inst)
+                per_inst = self._base_inst_ns
                 budget = int((deadline - t) / per_inst)
                 bulk = min(run, max(budget, 0))
                 if bulk > 0:
                     # Uniform straight-line region on a warm line: retire
                     # arithmetically without touching uarch state.
-                    for _ in range(bulk):
-                        program.retire()
+                    program.retire_bulk(bulk)
                     self.stats.instructions_retired += bulk
                     retired += bulk
                     t += bulk * per_inst
         if spec_lookahead > 0 and retired >= 0:
             self.speculate(asid, program, spec_lookahead)
         return retired, t
+
+    def _try_steady_fast_forward(
+        self, asid: int, program: Program, t: float, deadline: float
+    ):
+        """Whole-window fast-forward for uniform steady-state streams.
+
+        Unlike :meth:`_try_loop_fast_forward` this engages from *any*
+        slot: when the program certifies a slot-independent uniform
+        stream (every instruction one base cycle) and the loop's full
+        footprint is resident, the window is retired by an **arithmetic
+        twin** of the per-instruction loop — the same sequence of
+        chunk-head additions, uniform-line bulk multiplies and
+        whole-loop multiplies the slow path performs, minus the
+        microarchitectural work.  Replicating the float accumulation
+        exactly keeps end times bit-identical to per-instruction
+        execution: vruntime-sensitive schedulers (EEVDF eligibility)
+        amplify even ULP-level timing drift into different preemption
+        counts.  The straddling instruction past the deadline is
+        included (boundary rule).  Returns ``(instructions,
+        end_time_ns)`` or None; the caller adopts ``end_time``
+        directly.
+        """
+        if self._pipeline_cold or self._warmup_remaining > 0:
+            return None
+        state = program.steady_state(program.retired)
+        if state is None:
+            return None
+        profile, certified = state
+        if not self._footprint_resident(asid, profile):
+            return None
+        per_inst = self._base_inst_ns
+        idx0 = program.retired
+        idx = idx0
+        while t < deadline:
+            loop = program.loop_profile(idx)
+            if loop is not None:
+                per_loop = cycles_to_ns(loop.cycles_per_loop)
+                window = deadline - t
+                if window >= 2 * per_loop:
+                    loops = int(window / per_loop)
+                    if loop.max_loops is not None:
+                        loops = min(loops, loop.max_loops)
+                    if loops >= 1:
+                        idx += loops * loop.insts_per_loop
+                        t += loops * per_loop
+                        continue
+            if certified is not None and idx - idx0 >= certified:
+                break  # past the certified region: execute() decides
+            t += per_inst  # chunk-head instruction (line warm: base cost)
+            idx += 1
+            if t >= deadline:
+                break
+            run = program.uniform_region_length(idx)
+            if run > 1:
+                budget = int((deadline - t) / per_inst)
+                bulk = min(run, budget if budget > 0 else 0)
+                if bulk > 0:
+                    idx += bulk
+                    t += bulk * per_inst
+        count = idx - idx0
+        if count < 1:
+            return None
+        return count, t
+
+    def _footprint_resident(self, asid: int, profile) -> bool:
+        """Every loop line in this core's L1I, every page translated."""
+        l1i = self.hierarchy.l1i[self.core_id]
+        if not all(l1i.contains(line) for line in profile.line_addrs):
+            return False
+        itlb = self.tlbs.itlb[self.core_id]
+        return all(itlb.contains(asid, vpn) for vpn in profile.page_vpns)
 
     def _try_loop_fast_forward(
         self, asid: int, program: Program, t: float, deadline: float
@@ -230,13 +317,7 @@ class Core:
         window = deadline - t
         if window < 2 * per_loop_ns:
             return None
-        l1i = self.hierarchy.l1i[self.core_id]
-        if not all(l1i.contains(line) for line in profile.line_addrs):
-            return None
-        if not all(
-            self.tlbs.itlb[self.core_id].contains(asid, vpn)
-            for vpn in profile.page_vpns
-        ):
+        if not self._footprint_resident(asid, profile):
             return None
         loops = int(window / per_loop_ns)
         if profile.max_loops is not None:

@@ -25,13 +25,17 @@ class InstrKind(enum.Enum):
     RET = "ret"
     BRANCH = "branch"  # conditional branch (direction in `taken`)
 
-    @property
-    def is_control_transfer(self) -> bool:
-        return self in (InstrKind.JMP, InstrKind.CALL, InstrKind.RET, InstrKind.BRANCH)
 
-    @property
-    def is_memory(self) -> bool:
-        return self in (InstrKind.LOAD, InstrKind.STORE)
+# ``is_control_transfer`` / ``is_memory`` are consulted once per retired
+# instruction; precomputing them as plain member attributes (instead of
+# properties that build a tuple per call) keeps them off the execute-loop
+# profile.
+for _kind in InstrKind:
+    _kind.is_control_transfer = _kind in (
+        InstrKind.JMP, InstrKind.CALL, InstrKind.RET, InstrKind.BRANCH
+    )
+    _kind.is_memory = _kind in (InstrKind.LOAD, InstrKind.STORE)
+del _kind
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,14 @@ class Program(ABC):
     def retire(self) -> None:
         self.retired += 1
 
+    def retire_bulk(self, count: int) -> None:
+        """Advance the retirement cursor by ``count`` instructions.
+
+        The executor's arithmetic fast paths retire hundreds of uniform
+        instructions per call; one addition replaces that many
+        :meth:`retire` calls."""
+        self.retired += count
+
     def reset(self) -> None:
         self.retired = 0
 
@@ -89,6 +97,18 @@ class Program(ABC):
     def loop_profile(self, index: int) -> Optional[LoopProfile]:
         """Steady-state loop description at ``index``, if the program is
         a tight loop (see :class:`LoopProfile`).  Default: none."""
+        return None
+
+    def steady_state(self, index: int) -> Optional[Tuple[LoopProfile, Optional[int]]]:
+        """Slot-independent uniform-stream description at ``index``.
+
+        Returns ``(steady_profile, insts_remaining)`` when *every*
+        instruction from ``index`` onward costs exactly one base cycle
+        once the loop footprint is resident — regardless of where inside
+        the loop ``index`` falls.  ``insts_remaining`` is None for an
+        unbounded stream.  The executor verifies residency before
+        trusting the profile.  Default: none (no fast path).
+        """
         return None
 
 
@@ -137,17 +157,27 @@ class StraightlineProgram(Program):
         self.inst_size = inst_size
         self.loop_insts = loop_bytes // inst_size
         self.total = total
+        # Instructions are a pure function of the loop slot, so memoize
+        # them: an 80 000-preemption run asks for the same thousand
+        # frozen records millions of times.
+        self._slot_cache: List[Optional[Instruction]] = [None] * self.loop_insts
+        self._steady_profile: Optional[LoopProfile] = None
 
     def instruction_at(self, index: int) -> Optional[Instruction]:
         if self.total is not None and index >= self.total:
             return None
         slot = index % self.loop_insts
-        pc = self.base_pc + slot * self.inst_size
-        if slot == self.loop_insts - 1:
-            return Instruction(
-                pc=pc, kind=InstrKind.JMP, target=self.base_pc, size=self.inst_size
-            )
-        return Instruction(pc=pc, kind=InstrKind.NOP, size=self.inst_size)
+        inst = self._slot_cache[slot]
+        if inst is None:
+            pc = self.base_pc + slot * self.inst_size
+            if slot == self.loop_insts - 1:
+                inst = Instruction(
+                    pc=pc, kind=InstrKind.JMP, target=self.base_pc, size=self.inst_size
+                )
+            else:
+                inst = Instruction(pc=pc, kind=InstrKind.NOP, size=self.inst_size)
+            self._slot_cache[slot] = inst
+        return inst
 
     def uniform_region_length(self, index: int) -> int:
         """Instructions until the next line boundary or loop-back jump.
@@ -179,18 +209,46 @@ class StraightlineProgram(Program):
             max_loops = (self.total - index) // self.loop_insts
             if max_loops < 1:
                 return None
-        loop_bytes = self.loop_insts * self.inst_size
-        lines = tuple(range(self.base_pc, self.base_pc + loop_bytes, 64))
-        pages = tuple(
-            sorted({pc // 4096 for pc in range(self.base_pc,
-                                               self.base_pc + loop_bytes, 4096)}
-                   | {(self.base_pc + loop_bytes - 1) // 4096})
-        )
+        steady = self._steady_profile
+        if steady is None:
+            loop_bytes = self.loop_insts * self.inst_size
+            lines = tuple(range(self.base_pc, self.base_pc + loop_bytes, 64))
+            pages = tuple(
+                sorted({pc // 4096 for pc in range(self.base_pc,
+                                                   self.base_pc + loop_bytes, 4096)}
+                       | {(self.base_pc + loop_bytes - 1) // 4096})
+            )
+            steady = LoopProfile(
+                base_pc=self.base_pc,
+                insts_per_loop=self.loop_insts,
+                line_addrs=lines,
+                page_vpns=pages,
+                cycles_per_loop=float(self.loop_insts),  # 1 cycle/inst, fetches hit
+                max_loops=None,
+            )
+            self._steady_profile = steady
+        if max_loops is None:
+            return steady
         return LoopProfile(
-            base_pc=self.base_pc,
-            insts_per_loop=self.loop_insts,
-            line_addrs=lines,
-            page_vpns=pages,
-            cycles_per_loop=float(self.loop_insts),  # 1 cycle/inst, fetches hit
+            base_pc=steady.base_pc,
+            insts_per_loop=steady.insts_per_loop,
+            line_addrs=steady.line_addrs,
+            page_vpns=steady.page_vpns,
+            cycles_per_loop=steady.cycles_per_loop,
             max_loops=max_loops,
         )
+
+    def steady_state(self, index: int) -> Optional[Tuple[LoopProfile, Optional[int]]]:
+        """Every NOP (and the loop-back jump, predicted by its own BTB
+        entry) costs one base cycle once the loop is resident, so the
+        stream is uniform from *any* slot, not just the loop top."""
+        if self.total is not None:
+            remaining = self.total - index
+            if remaining < 1:
+                return None
+        else:
+            remaining = None
+        profile = self.loop_profile(index - index % self.loop_insts)
+        if profile is None:
+            return None
+        return profile, remaining

@@ -21,6 +21,7 @@ from typing import Iterator, List, Optional
 from repro.kernel import actions as act
 from repro.kernel.kernel import Kernel
 from repro.kernel.threads import CoroutineBody
+from repro.parallel import parallel_map, starmap_kwargs
 from repro.sched.task import Task
 from repro.sim.rng import RngStreams
 from repro.victims.aes_ttable import TTABLE_BASE
@@ -87,13 +88,14 @@ class NoiseImpactResult:
     accuracy: float
 
 
-def aes_accuracy_under_pollution(
-    *, n_keys: int = 5, traces: int = 5, polluted: bool = True, seed: int = 0
-) -> NoiseImpactResult:
-    """§4.3 remedy 1: majority voting across victim runs.
+def _polluted_aes_key_accuracy(
+    *, seed: int, key_index: int, traces: int, polluted: bool
+) -> float:
+    """One key's §4.3-remedy-1 accuracy (self-contained trial cell).
 
-    Runs the full AES attack on a two-core machine with a polluter on
-    the sibling core spraying the shared T-table region.
+    Key and plaintext bytes come from named streams of the root-seeded
+    :class:`RngStreams` — a pure function of ``(seed, key_index)``, so a
+    worker process reproduces exactly the bytes a serial loop draws.
     """
     from repro.analysis.aes_recovery import (
         nibble_accuracy,
@@ -104,27 +106,45 @@ def aes_accuracy_under_pollution(
     from repro.victims.aes_ttable import TTableAes
 
     rng = RngStreams(seed=seed)
-    accuracies: List[float] = []
-    for key_index in range(n_keys):
-        key = rng.randbytes(f"key{key_index}", 16)
-        aes = TTableAes(key)
-        collected = []
-        plaintexts = []
-        for trace_index in range(traces):
-            env = build_env("cfs", n_cores=2, seed=seed * 977 + key_index * 31
-                            + trace_index)
-            if polluted:
-                spawn_polluter(env.kernel, cpu=1, rng=env.rng)
-            plaintext = rng.randbytes(f"pt{key_index}:{trace_index}", 16)
-            trace = run_aes_trace(
-                aes, plaintext,
-                seed=seed * 977 + key_index * 31 + trace_index,
-                env=env,
-            )
-            collected.append(trace.samples)
-            plaintexts.append(plaintext)
-        recovered = recover_key_upper_nibbles(collected, plaintexts)
-        accuracies.append(nibble_accuracy(recovered, key))
+    key = rng.randbytes(f"key{key_index}", 16)
+    aes = TTableAes(key)
+    collected = []
+    plaintexts = []
+    for trace_index in range(traces):
+        env = build_env("cfs", n_cores=2, seed=seed * 977 + key_index * 31
+                        + trace_index)
+        if polluted:
+            spawn_polluter(env.kernel, cpu=1, rng=env.rng)
+        plaintext = rng.randbytes(f"pt{key_index}:{trace_index}", 16)
+        trace = run_aes_trace(
+            aes, plaintext,
+            seed=seed * 977 + key_index * 31 + trace_index,
+            env=env,
+        )
+        collected.append(trace.samples)
+        plaintexts.append(plaintext)
+    recovered = recover_key_upper_nibbles(collected, plaintexts)
+    return nibble_accuracy(recovered, key)
+
+
+def aes_accuracy_under_pollution(
+    *, n_keys: int = 5, traces: int = 5, polluted: bool = True, seed: int = 0,
+    jobs: Optional[int] = None,
+) -> NoiseImpactResult:
+    """§4.3 remedy 1: majority voting across victim runs.
+
+    Runs the full AES attack on a two-core machine with a polluter on
+    the sibling core spraying the shared T-table region.  Keys are
+    independent trials and fan out across the pool.
+    """
+    accuracies = starmap_kwargs(
+        _polluted_aes_key_accuracy,
+        [
+            dict(seed=seed, key_index=key_index, traces=traces, polluted=polluted)
+            for key_index in range(n_keys)
+        ],
+        jobs=jobs,
+    )
     return NoiseImpactResult(
         attack="aes-flush-reload",
         polluted=polluted,
@@ -133,21 +153,26 @@ def aes_accuracy_under_pollution(
     )
 
 
+def _btb_pair_accuracy(cell) -> float:
+    from repro.attacks.btb_gcd import run_btb_gcd_attack
+
+    p, q, seed, polluted = cell
+    return run_btb_gcd_attack(p, q, seed=seed, polluter=polluted).accuracy
+
+
 def btb_accuracy_under_pollution(
-    *, n_pairs: int = 4, polluted: bool = True, seed: int = 0
+    *, n_pairs: int = 4, polluted: bool = True, seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> NoiseImpactResult:
     """§4.3 remedy 2: core-private channels are immune to cross-core
     noise — the BTB attack's accuracy must not move under pollution."""
-    from repro.attacks.btb_gcd import random_prime_pairs, run_btb_gcd_attack
+    from repro.attacks.btb_gcd import random_prime_pairs
 
-    accuracies: List[float] = []
-    for index, (p, q) in enumerate(random_prime_pairs(n_pairs, seed=seed)):
-        accuracies.append(
-            run_btb_gcd_attack(
-                p, q, seed=seed + index * 13,
-                polluter=polluted,
-            ).accuracy
-        )
+    cells = [
+        (p, q, seed + index * 13, polluted)
+        for index, (p, q) in enumerate(random_prime_pairs(n_pairs, seed=seed))
+    ]
+    accuracies = parallel_map(_btb_pair_accuracy, cells, jobs=jobs)
     return NoiseImpactResult(
         attack="btb-train-probe",
         polluted=polluted,

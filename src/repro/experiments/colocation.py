@@ -9,14 +9,15 @@ steer the victim to (the paper's stated limitation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.core.colocation import achieve_colocation, launch_dummies
 from repro.core.primitive import ControlledPreemption, PreemptionConfig
 from repro.cpu.program import StraightlineProgram
 from repro.experiments.setup import build_env
 from repro.kernel.threads import ComputeBody, ProgramBody
+from repro.parallel import run_trials
 from repro.sched.task import Task, TaskState
 
 
@@ -66,6 +67,53 @@ def run_colocation(
         stayed,
         preemptions,
         result.n_attacker_threads,
+    )
+
+
+@dataclass
+class ColocationCampaign:
+    """Aggregate of many independent colocation trials (the REPTTACK-
+    style statistic: how often does the steering technique land the
+    victim next to the attacker?)."""
+
+    n_trials: int
+    successes: int
+    stayed: int
+    outcomes: List[ColocationOutcome] = field(repr=False)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.n_trials if self.n_trials else 0.0
+
+
+def run_colocation_campaign(
+    *,
+    n_trials: int = 20,
+    n_cores: int = 16,
+    seed: int = 0,
+    attack_rounds: int = 200,
+    jobs: Optional[int] = None,
+) -> ColocationCampaign:
+    """Repeat :func:`run_colocation` over derived per-trial seeds.
+
+    Trial ``i`` runs with ``derive_seed(seed, "colocation", i)``, so the
+    campaign is reproducible and identical whether it runs serially or
+    across a process pool.
+    """
+    outcomes = run_trials(
+        run_colocation,
+        n_trials,
+        root_seed=seed,
+        identity="colocation",
+        jobs=jobs,
+        n_cores=n_cores,
+        attack_rounds=attack_rounds,
+    )
+    return ColocationCampaign(
+        n_trials=n_trials,
+        successes=sum(1 for o in outcomes if o.colocated),
+        stayed=sum(1 for o in outcomes if o.victim_stayed),
+        outcomes=outcomes,
     )
 
 

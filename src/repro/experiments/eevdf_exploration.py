@@ -21,12 +21,13 @@ and shrinking it for scheduling latency costs budget one-for-one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.primitive import ControlledPreemption, PreemptionConfig
 from repro.cpu.program import StraightlineProgram
 from repro.experiments.setup import build_env
 from repro.kernel.threads import ProgramBody
+from repro.parallel import starmap_kwargs
 from repro.sched.task import Task, TaskState
 
 MS = 1_000_000
@@ -39,45 +40,53 @@ class SliceSweepPoint:
     budget_model: float  # slice / drift
 
 
+def _slice_cell(
+    *, slice_ms: float, extra_compute_ns: float, seed: int
+) -> SliceSweepPoint:
+    """One (slice request → preemption count) measurement."""
+    env = build_env("eevdf", n_cores=1, seed=seed)
+    victim = Task("victim", body=ProgramBody(StraightlineProgram()))
+    attacker = ControlledPreemption(
+        PreemptionConfig(
+            nap_ns=900.0,
+            rounds=20_000,
+            hibernate_ns=5e9,
+            extra_compute_ns=extra_compute_ns,
+            stop_on_exhaustion=True,
+        )
+    )
+    attacker.task.slice = slice_ms * MS  # sched_setattr request
+    env.kernel.spawn(victim, cpu=0)
+    attacker.launch(env.kernel, 0)
+    env.kernel.run_until(
+        predicate=lambda: attacker.task.state is TaskState.EXITED,
+        max_time=60e9,
+    )
+    count = env.tracer.consecutive_preemptions(victim.pid, attacker.task.pid)
+    drift = extra_compute_ns  # Iv ≈ 0 for the straightline victim
+    return SliceSweepPoint(
+        slice_ns=slice_ms * MS,
+        preemptions=count,
+        budget_model=slice_ms * MS / drift,
+    )
+
+
 def run_slice_sweep(
     *,
     slice_values_ms: Sequence[float] = (0.75, 1.5, 3.0, 6.0),
     extra_compute_ns: float = 15_000.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[SliceSweepPoint]:
     """Repeated preemptions vs the attacker's EEVDF slice request."""
-    points: List[SliceSweepPoint] = []
-    for slice_ms in slice_values_ms:
-        env = build_env("eevdf", n_cores=1, seed=seed)
-        victim = Task("victim", body=ProgramBody(StraightlineProgram()))
-        attacker = ControlledPreemption(
-            PreemptionConfig(
-                nap_ns=900.0,
-                rounds=20_000,
-                hibernate_ns=5e9,
-                extra_compute_ns=extra_compute_ns,
-                stop_on_exhaustion=True,
-            )
-        )
-        attacker.task.slice = slice_ms * MS  # sched_setattr request
-        env.kernel.spawn(victim, cpu=0)
-        attacker.launch(env.kernel, 0)
-        env.kernel.run_until(
-            predicate=lambda: attacker.task.state is TaskState.EXITED,
-            max_time=60e9,
-        )
-        count = env.tracer.consecutive_preemptions(
-            victim.pid, attacker.task.pid
-        )
-        drift = extra_compute_ns  # Iv ≈ 0 for the straightline victim
-        points.append(
-            SliceSweepPoint(
-                slice_ns=slice_ms * MS,
-                preemptions=count,
-                budget_model=slice_ms * MS / drift,
-            )
-        )
-    return points
+    return starmap_kwargs(
+        _slice_cell,
+        [
+            dict(slice_ms=slice_ms, extra_compute_ns=extra_compute_ns, seed=seed)
+            for slice_ms in slice_values_ms
+        ],
+        jobs=jobs,
+    )
 
 
 def budget_grows_then_saturates(

@@ -26,6 +26,7 @@ from repro.cpu.program import StraightlineProgram
 from repro.experiments.setup import build_env
 from repro.kernel.kernel import KernelConfig
 from repro.kernel.threads import ProgramBody
+from repro.parallel import starmap_kwargs
 from repro.sched.features import SchedFeatures
 from repro.sched.task import Task, TaskState
 from repro.victims.sgx import make_enclave_task
@@ -83,44 +84,34 @@ def _run(
     return MitigationResult(name, count, median, single)
 
 
-def evaluate_mitigations(*, rounds: int = 400, seed: int = 0) -> List[MitigationResult]:
-    """Baseline vs the three §6 defences."""
-    results = [
-        _run("baseline", rounds=rounds, seed=seed),
-        _run(
-            "no_wakeup_preemption",
-            features=SchedFeatures.no_wakeup_preemption(),
-            rounds=rounds,
-            seed=seed,
-        ),
-        _run(
-            "min_slice_1ms",
-            features=SchedFeatures.min_slice_guard(1_000_000.0),
-            rounds=rounds,
-            seed=seed,
-        ),
+def evaluate_mitigations(
+    *, rounds: int = 400, seed: int = 0, jobs: Optional[int] = None
+) -> List[MitigationResult]:
+    """Baseline vs the three §6 defences.
+
+    The cells share nothing (each builds its own environment from the
+    same seed, exactly as the serial loop always did), so they fan out
+    across the process pool and return in the fixed ablation order.
+    """
+    cells = [
+        dict(name="baseline"),
+        dict(name="no_wakeup_preemption",
+             features=SchedFeatures.no_wakeup_preemption()),
+        dict(name="min_slice_1ms",
+             features=SchedFeatures.min_slice_guard(1_000_000.0)),
         # EEVDF's RUN_TO_PARITY feature (real kernels ship it): a wakee
         # cannot preempt until the current task reaches its 0-lag
         # point — a built-in partial defence the CFS lacks.
-        _run("eevdf_baseline", scheduler="eevdf", rounds=rounds, seed=seed),
-        _run(
-            "eevdf_run_to_parity",
-            scheduler="eevdf",
-            features=SchedFeatures(run_to_parity=True),
-            rounds=rounds,
-            seed=seed,
-        ),
+        dict(name="eevdf_baseline", scheduler="eevdf"),
+        dict(name="eevdf_run_to_parity", scheduler="eevdf",
+             features=SchedFeatures(run_to_parity=True)),
         # SGX τ values re-tuned the way an attacker would: AEX +
         # ERESUME inflate the scheduling overhead, and AEX-Notify's
         # warm-up handler inflates it further.
-        _run("sgx_baseline", enclave=True, tau=2690.0, rounds=rounds, seed=seed),
-        _run(
-            "sgx_aex_notify",
-            enclave=True,
-            tau=4700.0,
-            kernel_config=KernelConfig(aex_notify_depth=80),
-            rounds=rounds,
-            seed=seed,
-        ),
+        dict(name="sgx_baseline", enclave=True, tau=2690.0),
+        dict(name="sgx_aex_notify", enclave=True, tau=4700.0,
+             kernel_config=KernelConfig(aex_notify_depth=80)),
     ]
-    return results
+    for cell in cells:
+        cell.update(rounds=rounds, seed=seed)
+    return starmap_kwargs(_run, cells, jobs=jobs)

@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.budget import eevdf_expected_preemptions, expected_preemptions
 from repro.core.primitive import ControlledPreemption, PreemptionConfig
 from repro.cpu.program import StraightlineProgram
 from repro.experiments.setup import build_env
 from repro.kernel.threads import ProgramBody
+from repro.parallel import derive_seed, starmap_kwargs
 from repro.sched.task import Task, TaskState
 
 
@@ -111,17 +112,16 @@ def figure_4_4(
     ),
     repeats: int = 5,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[BudgetRun]:
     """Preemption count vs Ia − Iv (Method 1), with repeats per point."""
-    runs: List[BudgetRun] = []
-    for extra in extra_compute_values:
-        for repeat in range(repeats):
-            runs.append(
-                run_budget_measurement(
-                    extra_compute_ns=extra, seed=seed + repeat * 1000 + int(extra)
-                )
-            )
-    return runs
+    cells = [
+        dict(extra_compute_ns=extra,
+             seed=derive_seed(seed, "fig4.4", extra, repeat))
+        for extra in extra_compute_values
+        for repeat in range(repeats)
+    ]
+    return starmap_kwargs(run_budget_measurement, cells, jobs=jobs)
 
 
 def figure_4_5(
@@ -130,32 +130,38 @@ def figure_4_5(
     extra_compute_ns: float = 12_000.0,
     repeats: int = 3,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[BudgetRun]:
     """Preemption count vs victim nice value (Ia − Iv ≈ 10–15 µs)."""
-    runs: List[BudgetRun] = []
-    for nice in nice_values:
-        for repeat in range(repeats):
-            runs.append(
-                run_budget_measurement(
-                    extra_compute_ns=extra_compute_ns,
-                    victim_nice=nice,
-                    seed=seed + repeat * 1000 + (nice + 20),
-                )
-            )
-    return runs
+    cells = [
+        dict(extra_compute_ns=extra_compute_ns,
+             victim_nice=nice,
+             seed=derive_seed(seed, "fig4.5", nice, repeat))
+        for nice in nice_values
+        for repeat in range(repeats)
+    ]
+    return starmap_kwargs(run_budget_measurement, cells, jobs=jobs)
 
 
 def eevdf_budget_statistic(
-    *, repeats: int = 165, extra_compute_ns: float = 12_000.0, seed: int = 0
+    *, repeats: int = 165, extra_compute_ns: float = 12_000.0, seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Tuple[float, List[int]]:
     """§4.5: median repeated preemptions on EEVDF at Ia−Iv ∈ [10,15] µs
-    (the paper reports a median of 219 over 165 runs)."""
-    counts = [
-        run_budget_measurement(
-            extra_compute_ns=extra_compute_ns,
-            scheduler="eevdf",
-            seed=seed + i,
-        ).preemptions
-        for i in range(repeats)
-    ]
+    (the paper reports a median of 219 over 165 runs).
+
+    The historical ``seed + i`` schedule is kept (tests pin its
+    distribution); the episodes are still independent, so they fan out
+    across the pool and come back in episode order.
+    """
+    runs = starmap_kwargs(
+        run_budget_measurement,
+        [
+            dict(extra_compute_ns=extra_compute_ns, scheduler="eevdf",
+                 seed=seed + i)
+            for i in range(repeats)
+        ],
+        jobs=jobs,
+    )
+    counts = [run.preemptions for run in runs]
     return float(statistics.median(counts)), counts

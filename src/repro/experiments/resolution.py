@@ -10,7 +10,7 @@ histogram; the figure functions sweep τ.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.histogram import ResolutionStats, resolution_stats
 from repro.core.degradation import TlbEvictor
@@ -19,6 +19,7 @@ from repro.core.wakeup import WakeupMethod
 from repro.cpu.program import StraightlineProgram
 from repro.experiments.setup import build_env
 from repro.kernel.threads import ProgramBody
+from repro.parallel import derive_seed, starmap_kwargs
 from repro.sched.task import Task, TaskState
 from repro.victims.layout import ATTACKER_TLB_ARENA
 
@@ -104,6 +105,37 @@ def run_resolution(
     )
 
 
+def tau_sweep(
+    taus: Sequence[float],
+    *,
+    method: WakeupMethod = WakeupMethod.NANOSLEEP,
+    degrade_itlb: bool = False,
+    scheduler: str = "cfs",
+    preemptions: int = 1000,
+    seed: int = 0,
+    sweep_name: str = "tau_sweep",
+    jobs: Optional[int] = None,
+) -> List[ResolutionRun]:
+    """One τ sweep: an independent :func:`run_resolution` cell per τ.
+
+    Each cell's seed is ``derive_seed(seed, sweep_name, tau)`` — a
+    stable function of the cell's identity, never of execution order —
+    so a parallel sweep is bit-identical to a serial one.
+    """
+    cells = [
+        dict(
+            tau=tau,
+            method=method,
+            degrade_itlb=degrade_itlb,
+            scheduler=scheduler,
+            preemptions=preemptions,
+            seed=derive_seed(seed, sweep_name, tau),
+        )
+        for tau in taus
+    ]
+    return starmap_kwargs(run_resolution, cells, jobs=jobs)
+
+
 def figure_4_3(
     *,
     preemptions_per_tau: int = 1000,
@@ -111,43 +143,44 @@ def figure_4_3(
     taus_a: Sequence[float] = FIG_4_3A_TAUS,
     taus_b: Sequence[float] = FIG_4_3B_TAUS,
     taus_c: Sequence[float] = FIG_4_3C_TAUS,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[ResolutionRun]]:
-    """All three panels of Fig 4.3 on the CFS."""
+    """All three panels of Fig 4.3 on the CFS.
+
+    All cells across the three panels go through one parallel map so a
+    pool is saturated even when individual panels are short.
+    """
+    plan = (
+        [("a", dict(tau=tau, preemptions=preemptions_per_tau,
+                    seed=derive_seed(seed, "fig4.3a", tau)))
+         for tau in taus_a]
+        + [("b", dict(tau=tau, degrade_itlb=True, preemptions=preemptions_per_tau,
+                      seed=derive_seed(seed, "fig4.3b", tau)))
+           for tau in taus_b]
+        + [("c", dict(tau=tau, method=WakeupMethod.TIMER,
+                      preemptions=preemptions_per_tau,
+                      seed=derive_seed(seed, "fig4.3c", tau)))
+           for tau in taus_c]
+    )
+    runs = starmap_kwargs(run_resolution, [kw for _, kw in plan], jobs=jobs)
     panels: Dict[str, List[ResolutionRun]] = {"a": [], "b": [], "c": []}
-    for tau in taus_a:
-        panels["a"].append(
-            run_resolution(tau, preemptions=preemptions_per_tau, seed=seed)
-        )
-    for tau in taus_b:
-        panels["b"].append(
-            run_resolution(
-                tau, degrade_itlb=True, preemptions=preemptions_per_tau, seed=seed
-            )
-        )
-    for tau in taus_c:
-        panels["c"].append(
-            run_resolution(
-                tau,
-                method=WakeupMethod.TIMER,
-                preemptions=preemptions_per_tau,
-                seed=seed,
-            )
-        )
+    for (panel, _), run in zip(plan, runs):
+        panels[panel].append(run)
     return panels
 
 
 def figure_4_7(
     *, preemptions_per_tau: int = 1000, seed: int = 0,
     taus: Sequence[float] = FIG_4_3B_TAUS,
+    jobs: Optional[int] = None,
 ) -> List[ResolutionRun]:
     """Fig 4.7: the Fig 4.3b experiment on EEVDF."""
-    return [
-        run_resolution(
-            tau,
-            degrade_itlb=True,
-            scheduler="eevdf",
-            preemptions=preemptions_per_tau,
-            seed=seed,
-        )
-        for tau in taus
-    ]
+    return tau_sweep(
+        taus,
+        degrade_itlb=True,
+        scheduler="eevdf",
+        preemptions=preemptions_per_tau,
+        seed=seed,
+        sweep_name="fig4.7",
+        jobs=jobs,
+    )

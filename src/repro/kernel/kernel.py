@@ -139,64 +139,108 @@ class _KernelExecContext(ExecContext):
         return self.kernel.rng.stream("spec").randint(0, window)
 
     # ------------------------------------------------------------------
+    # Action execution: dispatched on exact action type through
+    # ``_DISPATCH`` — one dict hit instead of an isinstance chain (this
+    # runs for every userspace step of every coroutine body).
+    # ------------------------------------------------------------------
     def exec_action(self, action, now: float):
+        handler = _DISPATCH.get(type(action))
+        if handler is None:
+            raise TypeError(f"unknown action {action!r}")
+        return handler(self, action, now)
+
+    def _act_compute(self, action, now):
+        return action.ns, None, None
+
+    def _act_load(self, action, now):
+        cycles = self.core.tlbs.translate_data(
+            self.cpu, self.asid, action.addr, huge=self._is_huge(action.addr)
+        )
+        cycles += self.core.hierarchy.access(self.cpu, action.addr, "data")
+        lat = self.kernel.machine.config.latency
+        return cycles_to_ns(cycles + lat.base_inst), cycles, None
+
+    def _act_timed_load(self, action, now):
         k = self.kernel
         lat = k.machine.config.latency
-        if isinstance(action, act.Compute):
-            return action.ns, None, None
-        if isinstance(action, act.Load):
-            cycles = self.core.tlbs.translate_data(
-                self.cpu, self.asid, action.addr, huge=self._is_huge(action.addr)
-            )
-            cycles += self.core.hierarchy.access(self.cpu, action.addr, "data")
-            return cycles_to_ns(cycles + lat.base_inst), cycles, None
-        if isinstance(action, act.TimedLoad):
-            cycles = self.core.tlbs.translate_data(
-                self.cpu, self.asid, action.addr, huge=self._is_huge(action.addr)
-            )
-            cycles += self.core.hierarchy.access(self.cpu, action.addr, "data")
-            cost = cycles + 2 * lat.rdtscp + lat.base_inst
-            jitter = k.rng.gauss("timed_load", 0.0, k.config.timed_load_jitter_cycles)
-            measured = max(0.0, cycles + jitter)
-            return cycles_to_ns(cost), measured, None
-        if isinstance(action, act.Store):
-            self.core.tlbs.translate_data(self.cpu, self.asid, action.addr)
-            self.core.hierarchy.access(self.cpu, action.addr, "data")
-            return cycles_to_ns(lat.base_inst), None, None
-        if isinstance(action, act.Flush):
-            self.core.hierarchy.clflush(action.addr)
-            return cycles_to_ns(lat.clflush), None, None
-        if isinstance(action, act.ExecInst):
-            cost = self.core.execute(self.asid, action.inst)
-            return cost, cost, None
-        if isinstance(action, act.GetTime):
-            cost = cycles_to_ns(lat.rdtscp)
-            return cost, now + cost, None
-        if isinstance(action, act.SetTimerSlack):
-            self.task.timer_slack = action.ns
-            return k.costs.syscall_entry(), None, None
-        if isinstance(action, act.TimerCreate):
-            cost = 2 * k.costs.syscall_entry()
-            first = action.first_after_ns
-            if first is None:
-                first = action.interval_ns
-            k.arm_periodic_timer(self.task, self.cpu, now + cost + first,
-                                 action.interval_ns)
-            return cost, None, None
-        if isinstance(action, act.TimerCancel):
-            k.cancel_timers(self.task)
-            return k.costs.syscall_entry(), None, None
-        if isinstance(action, act.SignalTask):
-            cost = k.costs.syscall_entry() + k.costs.signal_delivery()
-            k.signal_task(action.target_pid, self.cpu)
-            return cost, None, None
-        if isinstance(action, act.Nanosleep):
-            return 0.0, None, BlockRequest("nanosleep", action.ns)
-        if isinstance(action, act.Pause):
-            return 0.0, None, BlockRequest("pause")
-        if isinstance(action, act.Exit):
-            return 0.0, None, BlockRequest("exit")
-        raise TypeError(f"unknown action {action!r}")
+        cycles = self.core.tlbs.translate_data(
+            self.cpu, self.asid, action.addr, huge=self._is_huge(action.addr)
+        )
+        cycles += self.core.hierarchy.access(self.cpu, action.addr, "data")
+        cost = cycles + 2 * lat.rdtscp + lat.base_inst
+        jitter = k.rng.gauss("timed_load", 0.0, k.config.timed_load_jitter_cycles)
+        measured = max(0.0, cycles + jitter)
+        return cycles_to_ns(cost), measured, None
+
+    def _act_store(self, action, now):
+        self.core.tlbs.translate_data(self.cpu, self.asid, action.addr)
+        self.core.hierarchy.access(self.cpu, action.addr, "data")
+        lat = self.kernel.machine.config.latency
+        return cycles_to_ns(lat.base_inst), None, None
+
+    def _act_flush(self, action, now):
+        self.core.hierarchy.clflush(action.addr)
+        lat = self.kernel.machine.config.latency
+        return cycles_to_ns(lat.clflush), None, None
+
+    def _act_exec_inst(self, action, now):
+        cost = self.core.execute(self.asid, action.inst)
+        return cost, cost, None
+
+    def _act_get_time(self, action, now):
+        cost = cycles_to_ns(self.kernel.machine.config.latency.rdtscp)
+        return cost, now + cost, None
+
+    def _act_set_timer_slack(self, action, now):
+        self.task.timer_slack = action.ns
+        return self.kernel.costs.syscall_entry(), None, None
+
+    def _act_timer_create(self, action, now):
+        k = self.kernel
+        cost = 2 * k.costs.syscall_entry()
+        first = action.first_after_ns
+        if first is None:
+            first = action.interval_ns
+        k.arm_periodic_timer(self.task, self.cpu, now + cost + first,
+                             action.interval_ns)
+        return cost, None, None
+
+    def _act_timer_cancel(self, action, now):
+        self.kernel.cancel_timers(self.task)
+        return self.kernel.costs.syscall_entry(), None, None
+
+    def _act_signal_task(self, action, now):
+        k = self.kernel
+        cost = k.costs.syscall_entry() + k.costs.signal_delivery()
+        k.signal_task(action.target_pid, self.cpu)
+        return cost, None, None
+
+    def _act_nanosleep(self, action, now):
+        return 0.0, None, BlockRequest("nanosleep", action.ns)
+
+    def _act_pause(self, action, now):
+        return 0.0, None, BlockRequest("pause")
+
+    def _act_exit(self, action, now):
+        return 0.0, None, BlockRequest("exit")
+
+
+_DISPATCH = {
+    act.Compute: _KernelExecContext._act_compute,
+    act.Load: _KernelExecContext._act_load,
+    act.TimedLoad: _KernelExecContext._act_timed_load,
+    act.Store: _KernelExecContext._act_store,
+    act.Flush: _KernelExecContext._act_flush,
+    act.ExecInst: _KernelExecContext._act_exec_inst,
+    act.GetTime: _KernelExecContext._act_get_time,
+    act.SetTimerSlack: _KernelExecContext._act_set_timer_slack,
+    act.TimerCreate: _KernelExecContext._act_timer_create,
+    act.TimerCancel: _KernelExecContext._act_timer_cancel,
+    act.SignalTask: _KernelExecContext._act_signal_task,
+    act.Nanosleep: _KernelExecContext._act_nanosleep,
+    act.Pause: _KernelExecContext._act_pause,
+    act.Exit: _KernelExecContext._act_exit,
+}
 
 
 class Kernel:

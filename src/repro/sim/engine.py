@@ -1,9 +1,12 @@
 """Event-heap simulator core.
 
-The simulator keeps a binary heap of :class:`Event` records ordered by
-``(time, priority, sequence)``.  ``sequence`` is a monotonically
-increasing integer, so events scheduled at the same instant run in
-scheduling order, which makes the whole simulation deterministic.
+The simulator keeps a binary heap of ``(time, priority, seq, event)``
+tuples.  ``seq`` is a monotonically increasing integer, so events
+scheduled at the same instant run in scheduling order, which makes the
+whole simulation deterministic.  Ordering lives in the tuple — never in
+:class:`Event` itself — so a heap sift compares machine ints and floats
+instead of calling back into Python attribute lookups; this is the
+single hottest comparison in the whole simulation.
 
 Time is a ``float`` number of nanoseconds since simulation start.  All
 kernel and scheduler quantities in this project are expressed in
@@ -14,37 +17,48 @@ converted through :data:`repro.uarch.timing.CPU_FREQ_GHZ`.
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
-    Events compare by ``(time, priority, seq)``.  Lower priority values
-    run first among events at the same timestamp; the default priority
-    of 0 is fine for nearly everything.  Interrupt delivery uses a
-    negative priority so that a timer firing at exactly the instant a
-    task would block is handled interrupt-first, as on real hardware.
+    Events run in ``(time, priority, seq)`` order.  Lower priority
+    values run first among events at the same timestamp; the default
+    priority of 0 is fine for nearly everything.  Interrupt delivery
+    uses a negative priority so that a timer firing at exactly the
+    instant a task would block is handled interrupt-first, as on real
+    hardware.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "label", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        label: str = "",
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.label = label
+        self.fired = False
 
 
 class EventHandle:
     """Opaque handle allowing a scheduled event to be cancelled."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, sim: "Simulator"):
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -56,7 +70,14 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if not event.fired:
+                self._sim._live -= 1
+
+
+_HeapEntry = Tuple[float, int, int, Event]
 
 
 class Simulator:
@@ -73,8 +94,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Event] = []
-        self._seq = itertools.count()
+        self._heap: List[_HeapEntry] = []
+        self._seq = 0
+        self._live = 0  # non-cancelled, not-yet-fired events in the heap
         self._running = False
 
     @property
@@ -103,9 +125,12 @@ class Simulator:
                 f"cannot schedule event at {time} ns; simulation time is "
                 f"already {self._now} ns"
             )
-        event = Event(time, priority, next(self._seq), callback, label=label)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, label=label)
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        self._live += 1
+        return EventHandle(event, self)
 
     def call_after(
         self,
@@ -126,17 +151,21 @@ class Simulator:
     def peek_next_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if none remain."""
-        self._drop_cancelled()
-        if not self._heap:
-            return False
-        event = heapq.heappop(self._heap)
-        self._now = event.time
-        event.callback()
-        return True
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if event.cancelled:
+                continue
+            event.fired = True
+            self._live -= 1
+            self._now = event.time
+            event.callback()
+            return True
+        return False
 
     def run(self, *, max_events: Optional[int] = None) -> int:
         """Run until the event heap drains.  Returns events executed."""
@@ -168,9 +197,14 @@ class Simulator:
         return count
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a live counter maintained on push/cancel/pop replaces the
+        full-heap scan this used to be.
+        """
+        return self._live
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)

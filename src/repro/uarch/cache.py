@@ -13,6 +13,11 @@ Inclusivity matters: evicting a line from the LLC back-invalidates every
 private copy, which is exactly the mechanism the paper's §5.2 attack
 uses to both observe and *stall* the victim's instruction fetch from
 another cache level.
+
+Each set is an insertion-ordered dict of line addresses (LRU first, MRU
+last): membership, recency update and LRU eviction are all O(1), where
+the previous list representation paid an O(ways) scan-and-remove on
+every hit — the hottest loop in the whole hierarchy.
 """
 
 from __future__ import annotations
@@ -22,6 +27,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.uarch.address import CACHE_LINE_SIZE, line_addr
 from repro.uarch.timing import LATENCY, LatencyModel
+
+#: ``addr & _LINE_MASK == line_addr(addr)``; inlined in the hot paths.
+_LINE_MASK = ~(CACHE_LINE_SIZE - 1)
 
 
 @dataclass(frozen=True)
@@ -63,76 +71,87 @@ class CacheLevel:
     """One set-associative, LRU cache level.
 
     Lines are identified by their line address.  Each set is an ordered
-    list of line addresses, most-recently-used last.
+    dict of line addresses, most-recently-used last.
     """
+
+    __slots__ = ("name", "geometry", "_sets", "hits", "misses",
+                 "_set_mask", "_line_size", "_n_ways")
 
     def __init__(self, name: str, geometry: CacheGeometry):
         self.name = name
         self.geometry = geometry
-        self._sets: Dict[int, List[int]] = {}
+        # One preallocated bucket per set, indexed directly: a list
+        # subscript beats the ``dict.get`` + None-check this used to do
+        # on every access in the hottest loop of the hierarchy.
+        self._sets: List[Dict[int, None]] = [{} for _ in range(geometry.n_sets)]
         self.hits = 0
         self.misses = 0
+        # Hoisted set-index math: the geometry is frozen, so the mask,
+        # line size and associativity never change after construction.
+        self._set_mask = geometry.n_sets - 1
+        self._line_size = geometry.line_size
+        self._n_ways = geometry.n_ways
 
-    def _set_for(self, line: int) -> List[int]:
-        idx = self.geometry.set_index(line)
-        bucket = self._sets.get(idx)
-        if bucket is None:
-            bucket = []
-            self._sets[idx] = bucket
-        return bucket
-
-    def lookup(self, addr: int, *, touch: bool = True) -> bool:
+    def lookup(self, addr: int, *, touch: bool = True,
+               count_stats: bool = True) -> bool:
         """True if the line holding ``addr`` is resident.
 
         ``touch`` updates LRU order on hit (a probe that should not
-        perturb recency can pass ``touch=False``).
+        perturb recency can pass ``touch=False``).  ``count_stats=False``
+        leaves the hit/miss counters alone — the prefetch path uses it
+        so hardware-initiated fills never masquerade as demand accesses
+        in channel-noise accounting.
         """
-        line = line_addr(addr)
-        bucket = self._set_for(line)
+        line = addr & _LINE_MASK
+        bucket = self._sets[(line // self._line_size) & self._set_mask]
         if line in bucket:
-            self.hits += 1
+            if count_stats:
+                self.hits += 1
             if touch:
-                bucket.remove(line)
-                bucket.append(line)
+                del bucket[line]
+                bucket[line] = None
             return True
-        self.misses += 1
+        if count_stats:
+            self.misses += 1
         return False
 
     def contains(self, addr: int) -> bool:
         """Presence check with no statistics or LRU side effects."""
-        line = line_addr(addr)
-        return line in self._sets.get(self.geometry.set_index(line), ())
+        line = addr & _LINE_MASK
+        return line in self._sets[(line // self._line_size) & self._set_mask]
 
     def fill(self, addr: int) -> Optional[int]:
         """Insert the line holding ``addr``; return the evicted line (or
         None).  Filling an already-resident line just refreshes LRU."""
-        line = line_addr(addr)
-        bucket = self._set_for(line)
+        line = addr & _LINE_MASK
+        bucket = self._sets[(line // self._line_size) & self._set_mask]
         if line in bucket:
-            bucket.remove(line)
-            bucket.append(line)
+            del bucket[line]
+            bucket[line] = None
             return None
         victim = None
-        if len(bucket) >= self.geometry.n_ways:
-            victim = bucket.pop(0)
-        bucket.append(line)
+        if len(bucket) >= self._n_ways:
+            victim = next(iter(bucket))
+            del bucket[victim]
+        bucket[line] = None
         return victim
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line holding ``addr``.  Returns True if it was resident."""
-        line = line_addr(addr)
-        bucket = self._sets.get(self.geometry.set_index(line))
-        if bucket and line in bucket:
-            bucket.remove(line)
+        line = addr & _LINE_MASK
+        bucket = self._sets[(line // self._line_size) & self._set_mask]
+        if line in bucket:
+            del bucket[line]
             return True
         return False
 
     def resident_lines(self, set_index: int) -> Tuple[int, ...]:
         """Lines currently resident in ``set_index`` (LRU → MRU order)."""
-        return tuple(self._sets.get(set_index, ()))
+        return tuple(self._sets[set_index])
 
     def flush_all(self) -> None:
-        self._sets.clear()
+        for bucket in self._sets:
+            bucket.clear()
 
 
 class MemoryHierarchy:
@@ -157,35 +176,48 @@ class MemoryHierarchy:
         self.l1d = [CacheLevel(f"L1D#{c}", self.geometry.l1d) for c in range(n_cores)]
         self.l2 = [CacheLevel(f"L2#{c}", self.geometry.l2) for c in range(n_cores)]
         self.llc = CacheLevel("LLC", self.geometry.llc)
+        # Hoisted load-to-use latencies (the model is frozen).
+        self._l1_hit = latency.l1_hit
+        self._l2_hit = latency.l2_hit
+        self._llc_hit = latency.llc_hit
+        self._dram = latency.dram
 
     # ------------------------------------------------------------------
     # Core access paths
     # ------------------------------------------------------------------
-    def access(self, core: int, addr: int, kind: str = "data") -> int:
+    def access(self, core: int, addr: int, kind: str = "data",
+               *, count_stats: bool = True) -> int:
         """Load/fetch ``addr`` from ``core``; returns latency in cycles.
 
         ``kind`` is ``"data"`` or ``"inst"`` and selects the L1 slice.
+        ``count_stats=False`` performs all fills and LRU updates but
+        skips the hit/miss counters (prefetches, see :meth:`prefetch`).
         """
         l1 = self.l1d[core] if kind == "data" else self.l1i[core]
-        if l1.lookup(addr):
-            return self.latency.l1_hit
-        if self.l2[core].lookup(addr):
+        if l1.lookup(addr, count_stats=count_stats):
+            return self._l1_hit
+        if self.l2[core].lookup(addr, count_stats=count_stats):
             l1.fill(addr)
-            return self.latency.l2_hit
-        if self.llc.lookup(addr):
+            return self._l2_hit
+        if self.llc.lookup(addr, count_stats=count_stats):
             self._fill_private(core, l1, addr)
-            return self.latency.llc_hit
+            return self._llc_hit
         # DRAM: fill inclusive LLC first, back-invalidating on eviction.
         evicted = self.llc.fill(addr)
         if evicted is not None:
             self._back_invalidate(evicted)
         self._fill_private(core, l1, addr)
-        return self.latency.dram
+        return self._dram
 
     def prefetch(self, core: int, addr: int, kind: str = "inst") -> None:
         """Bring a line in without charging the requester (BTB-driven
-        target prefetch, next-line prefetch)."""
-        self.access(core, addr, kind=kind)
+        target prefetch, next-line prefetch).
+
+        Prefetches move lines and recency exactly like demand accesses,
+        but they are hardware-initiated: they must not count as demand
+        hits/misses, or channel-noise accounting would blur the very
+        statistic (§4.3) the attacks read."""
+        self.access(core, addr, kind=kind, count_stats=False)
 
     def clflush(self, addr: int) -> None:
         """Flush one line from every cache in the system."""

@@ -41,51 +41,62 @@ class TlbGeometry:
 
 
 class Tlb:
-    """One set-associative LRU TLB level with (asid, vpn) tags."""
+    """One set-associative LRU TLB level with (asid, vpn) tags.
+
+    Each set is an insertion-ordered dict of tags (LRU first, MRU last),
+    so membership, recency refresh and eviction are O(1) instead of the
+    O(ways) ``list.remove`` the previous representation paid per hit.
+    """
+
+    __slots__ = ("name", "geometry", "_sets", "hits", "misses",
+                 "_n_sets", "_n_ways")
 
     def __init__(self, name: str, geometry: TlbGeometry):
         self.name = name
         self.geometry = geometry
-        self._sets: Dict[int, List[Tag]] = {}
+        # Preallocated bucket per set (direct list subscript; see
+        # CacheLevel for the rationale).
+        self._sets: List[Dict[Tag, None]] = [{} for _ in range(geometry.n_sets)]
         self.hits = 0
         self.misses = 0
+        self._n_sets = geometry.n_sets
+        self._n_ways = geometry.n_ways
 
     def lookup(self, asid: int, vpn: int, *, touch: bool = True) -> bool:
-        bucket = self._sets.get(self.geometry.set_index(vpn))
+        bucket = self._sets[vpn % self._n_sets]
         tag = (asid, vpn)
-        if bucket and tag in bucket:
+        if tag in bucket:
             self.hits += 1
             if touch:
-                bucket.remove(tag)
-                bucket.append(tag)
+                del bucket[tag]
+                bucket[tag] = None
             return True
         self.misses += 1
         return False
 
     def contains(self, asid: int, vpn: int) -> bool:
-        bucket = self._sets.get(self.geometry.set_index(vpn))
-        return bool(bucket) and (asid, vpn) in bucket
+        return (asid, vpn) in self._sets[vpn % self._n_sets]
 
     def fill(self, asid: int, vpn: int) -> None:
-        idx = self.geometry.set_index(vpn)
-        bucket = self._sets.setdefault(idx, [])
+        bucket = self._sets[vpn % self._n_sets]
         tag = (asid, vpn)
         if tag in bucket:
-            bucket.remove(tag)
-        elif len(bucket) >= self.geometry.n_ways:
-            bucket.pop(0)
-        bucket.append(tag)
+            del bucket[tag]
+        elif len(bucket) >= self._n_ways:
+            del bucket[next(iter(bucket))]
+        bucket[tag] = None
 
     def invalidate(self, asid: int, vpn: int) -> bool:
-        bucket = self._sets.get(self.geometry.set_index(vpn))
+        bucket = self._sets[vpn % self._n_sets]
         tag = (asid, vpn)
-        if bucket and tag in bucket:
-            bucket.remove(tag)
+        if tag in bucket:
+            del bucket[tag]
             return True
         return False
 
     def flush_all(self) -> None:
-        self._sets.clear()
+        for bucket in self._sets:
+            bucket.clear()
 
 
 class TlbHierarchy:

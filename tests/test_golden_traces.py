@@ -1,0 +1,194 @@
+"""Golden traces: the optimized data structures must reproduce the
+pre-optimization semantics operation for operation.
+
+The perf work replaced the cache/TLB set representation (ordered dicts
+indexed by a preallocated list) and the event engine's heap entries.
+These tests drive the optimized structures and straightforward
+reference models through identical randomized operation sequences and
+require identical observable behaviour — hit/miss pattern, eviction
+victims, LRU order, and event firing order (including cancellations).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.engine import Simulator
+from repro.uarch.cache import CacheGeometry, CacheLevel
+from repro.uarch.tlb import Tlb, TlbGeometry
+
+
+# ----------------------------------------------------------------------
+# Reference models (the seed's semantics, written the obvious way)
+# ----------------------------------------------------------------------
+class RefLruSet:
+    """One cache/TLB set as a plain list, LRU first, MRU last."""
+
+    def __init__(self, n_ways: int):
+        self.n_ways = n_ways
+        self.entries: list = []
+
+    def lookup(self, key, touch: bool = True) -> bool:
+        if key in self.entries:
+            if touch:
+                self.entries.remove(key)
+                self.entries.append(key)
+            return True
+        return False
+
+    def fill(self, key):
+        """Insert ``key``; return the evicted entry or None."""
+        if key in self.entries:
+            self.entries.remove(key)
+            self.entries.append(key)
+            return None
+        victim = None
+        if len(self.entries) >= self.n_ways:
+            victim = self.entries.pop(0)
+        self.entries.append(key)
+        return victim
+
+    def invalidate(self, key) -> bool:
+        if key in self.entries:
+            self.entries.remove(key)
+            return True
+        return False
+
+
+class RefCache:
+    """Reference set-associative LRU cache over line addresses."""
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self.sets = [RefLruSet(geometry.n_ways) for _ in range(geometry.n_sets)]
+
+    def _set(self, addr: int) -> RefLruSet:
+        return self.sets[self.geometry.set_index(addr)]
+
+    def _line(self, addr: int) -> int:
+        return addr - addr % self.geometry.line_size
+
+    def lookup(self, addr: int, touch: bool = True) -> bool:
+        return self._set(addr).lookup(self._line(addr), touch)
+
+    def fill(self, addr: int):
+        return self._set(addr).fill(self._line(addr))
+
+    def invalidate(self, addr: int) -> bool:
+        return self._set(addr).invalidate(self._line(addr))
+
+    def resident_lines(self, set_index: int):
+        return tuple(self.sets[set_index].entries)
+
+
+# ----------------------------------------------------------------------
+# CacheLevel vs reference
+# ----------------------------------------------------------------------
+class TestCacheGoldenTrace:
+    GEOMETRY = CacheGeometry(n_sets=8, n_ways=4)
+
+    def _random_ops(self, rng, n_ops):
+        # Addresses concentrated on few sets so eviction happens often.
+        for _ in range(n_ops):
+            addr = rng.randrange(0, 64 * 8 * 16) * 4
+            yield rng.choice(["lookup", "probe", "fill", "invalidate"]), addr
+
+    def test_randomized_trace_matches_reference(self):
+        rng = random.Random(1234)
+        cache = CacheLevel("L1", self.GEOMETRY)
+        ref = RefCache(self.GEOMETRY)
+        for op, addr in self._random_ops(rng, 4000):
+            if op == "lookup":
+                assert cache.lookup(addr) == ref.lookup(addr)
+            elif op == "probe":
+                # touch=False must not perturb recency in either model.
+                assert cache.lookup(addr, touch=False) == ref.lookup(
+                    addr, touch=False
+                )
+            elif op == "fill":
+                assert cache.fill(addr) == ref.fill(addr)
+            else:
+                assert cache.invalidate(addr) == ref.invalidate(addr)
+        for set_index in range(self.GEOMETRY.n_sets):
+            assert cache.resident_lines(set_index) == ref.resident_lines(
+                set_index
+            )
+
+    def test_eviction_order_is_lru(self):
+        cache = CacheLevel("L1", self.GEOMETRY)
+        line = self.GEOMETRY.line_size
+        stride = self.GEOMETRY.n_sets * line  # same set every time
+        ways = [i * stride for i in range(self.GEOMETRY.n_ways)]
+        for addr in ways:
+            assert cache.fill(addr) is None
+        # Touch way 0 so way 1 becomes LRU, then overflow the set.
+        assert cache.lookup(ways[0])
+        assert cache.fill(self.GEOMETRY.n_ways * stride) == ways[1]
+
+
+class TestTlbGoldenTrace:
+    GEOMETRY = TlbGeometry(n_sets=4, n_ways=3)
+
+    def test_randomized_trace_matches_reference(self):
+        rng = random.Random(99)
+        tlb = Tlb("iTLB", self.GEOMETRY)
+        ref_sets = [RefLruSet(self.GEOMETRY.n_ways) for _ in range(4)]
+
+        def ref_for(vpn):
+            return ref_sets[vpn % self.GEOMETRY.n_sets]
+
+        for _ in range(3000):
+            op = rng.choice(["lookup", "fill", "invalidate"])
+            asid = rng.randrange(3)
+            vpn = rng.randrange(24)
+            tag = (asid, vpn)
+            if op == "lookup":
+                assert tlb.lookup(asid, vpn) == ref_for(vpn).lookup(tag)
+            elif op == "fill":
+                tlb.fill(asid, vpn)
+                ref_for(vpn).fill(tag)
+            else:
+                assert tlb.invalidate(asid, vpn) == ref_for(vpn).invalidate(tag)
+            assert tlb.contains(asid, vpn) == (tag in ref_for(vpn).entries)
+
+
+# ----------------------------------------------------------------------
+# Event engine vs a naive sorted-list reference
+# ----------------------------------------------------------------------
+class TestEngineGoldenTrace:
+    def test_firing_order_matches_reference(self):
+        """Random schedule/cancel workload: the optimized heap (lazy
+        deletion, tuple entries) must fire callbacks in exactly the
+        order a naive stable-sorted list would."""
+        rng = random.Random(7)
+        sim = Simulator()
+        fired: list = []
+        reference: list = []  # (time, seq, label) of non-cancelled events
+        handles = {}
+        seq = 0
+        for i in range(400):
+            when = float(rng.randrange(1, 50))
+            label = f"ev{i}"
+            handles[label] = sim.call_at(when, lambda lab=label: fired.append(lab))
+            reference.append([when, seq, label])
+            seq += 1
+            if handles and rng.random() < 0.3:
+                victim = rng.choice(sorted(handles))
+                handles[victim].cancel()
+                reference = [r for r in reference if r[2] != victim]
+                del handles[victim]
+        sim.run_until(1e9)
+        expected = [label for _, _, label in sorted(reference, key=lambda r: (r[0], r[1]))]
+        assert fired == expected
+
+    def test_pending_count_tracks_live_events(self):
+        sim = Simulator()
+        hs = [sim.call_at(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_count() == 10
+        hs[3].cancel()
+        hs[7].cancel()
+        assert sim.pending_count() == 8
+        sim.run_until(5.0)
+        # Events at t=1,2,4,5 fired (t=4 was cancelled → 1,2,3,5 fire);
+        # of t=6..10 one (t=8) was cancelled, leaving four live.
+        assert sim.pending_count() == 4
