@@ -10,7 +10,9 @@ Measures the numbers the perf work is judged on, at
 * ``tau_sweep_resolution`` — a 5-τ non-degraded CFS resolution sweep
   (the Fig 4.3a experiment), serial and ``--jobs 4``;
 * ``tau_sweep_eevdf`` — a 5-τ degraded EEVDF sweep (``figure_4_7``),
-  serial and ``--jobs 4``.
+  serial and ``--jobs 4``;
+* ``observability`` — the serial resolution sweep with ``repro.obs``
+  metrics / tracing explicitly off vs on, as overhead ratios.
 
 Every workload is timed best-of-2 after the imports have been paid, in
 both trees, so the ratios compare simulation work rather than
@@ -108,6 +110,20 @@ def bench_tau_sweep_eevdf(jobs: int) -> float:
         seed=1, jobs=jobs))
 
 
+def bench_tau_sweep_obs(metrics: bool, trace: bool) -> float:
+    """The serial resolution sweep under an explicit obs configuration
+    (metrics/tracing on or off) — the observability overhead numbers."""
+    import repro.obs as obs_mod
+    from repro.experiments.resolution import tau_sweep
+
+    obs_mod.configure(metrics=metrics, trace=trace)
+    try:
+        return best_of(lambda: tau_sweep(
+            SWEEP_TAUS, preemptions=SWEEP_PREEMPTIONS, seed=1, jobs=1))
+    finally:
+        obs_mod.reset()
+
+
 def run_local() -> dict:
     return {
         "engine_events_per_sec": round(bench_engine_events()),
@@ -118,6 +134,22 @@ def run_local() -> dict:
             round(bench_tau_sweep_resolution(4), 4),
         "tau_sweep_eevdf_serial_s": round(bench_tau_sweep_eevdf(1), 4),
         "tau_sweep_eevdf_jobs4_s": round(bench_tau_sweep_eevdf(4), 4),
+    }
+
+
+def run_observability(baseline_s: float) -> dict:
+    """Metrics/tracing overhead on the serial resolution sweep,
+    relative to the obs-disabled timing just measured."""
+    off = round(bench_tau_sweep_obs(metrics=False, trace=False), 4)
+    metrics_on = round(bench_tau_sweep_obs(metrics=True, trace=False), 4)
+    trace_on = round(bench_tau_sweep_obs(metrics=False, trace=True), 4)
+    return {
+        "tau_sweep_obs_off_s": off,
+        "tau_sweep_metrics_on_s": metrics_on,
+        "tau_sweep_trace_on_s": trace_on,
+        "metrics_overhead_ratio": round(metrics_on / off, 3),
+        "trace_overhead_ratio": round(trace_on / off, 3),
+        "obs_off_vs_default_ratio": round(off / baseline_s, 3),
     }
 
 
@@ -205,6 +237,11 @@ def main() -> int:
     report["optimized"] = run_local()
     print(json.dumps(report["optimized"], indent=2))
 
+    print("measuring observability overhead ...")
+    report["observability"] = run_observability(
+        report["optimized"]["tau_sweep_resolution_serial_s"])
+    print(json.dumps(report["observability"], indent=2))
+
     print("measuring seed tree (.bench-seed) ...")
     seed = run_seed_tree()
     if seed is not None:
@@ -237,8 +274,23 @@ def main() -> int:
 
     out = args.out or str(REPO / "benchmarks"
                           / f"BENCH_{report['date']}.json")
+    # Merge into the day's existing report instead of clobbering it:
+    # earlier sections measured today (seed baseline, speedups, the
+    # per-cell times pytest appends) survive a partial re-run.
+    merged: dict = {}
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                merged = json.load(fh)
+        except (OSError, ValueError):
+            merged = {}
+    for key, value in report.items():
+        if isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key] = {**merged[key], **value}
+        else:
+            merged[key] = value
     with open(out, "w") as fh:
-        json.dump(report, fh, indent=2)
+        json.dump(merged, fh, indent=2)
         fh.write("\n")
     print(f"wrote {out}")
     return 0

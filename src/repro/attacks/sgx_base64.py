@@ -275,6 +275,25 @@ def measure_unattacked_char_time(b64_text: str, *, seed: int = 0) -> float:
     return (env.kernel.now - start) / max(1, info.char_count)
 
 
+def run_sgx_pem_experiment(
+    *, bits: int = 1024, seed: int = 0, scheduler: str = "cfs"
+) -> SgxAttackResult:
+    """Key generation + full attack from one root seed.
+
+    The replayable entry point: generating the RSA key inside the
+    experiment (instead of at the call site, as the raw
+    :func:`run_sgx_base64_attack` expects) makes ``(bits, seed)`` the
+    complete description of a run, which is what run manifests record.
+    """
+    import random
+
+    from repro.victims.rsa import generate_rsa_key, pem_base64_body
+
+    key = generate_rsa_key(bits, rng=random.Random(seed))
+    return run_sgx_base64_attack(pem_base64_body(key), seed=seed,
+                                 scheduler=scheduler)
+
+
 def run_sgx_base64_attack(
     b64_text: str,
     *,

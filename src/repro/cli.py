@@ -11,33 +11,108 @@ without writing harness code:
     python -m repro btb --pairs 5
     python -m repro colocation --trials 20
     python -m repro mitigations
+    python -m repro trace resolution --out trace.json
+    python -m repro stats resolution
+    python -m repro replay runs/run-resolution-s0-xxxxxxxxxx.json
 
 ``--jobs N`` fans independent trials out over a process pool; ``--jobs
 0`` means "all cores" (``os.cpu_count()``).  Results are bit-identical
 to a serial run regardless of N — every trial derives its seed from the
 root ``--seed`` and a stable identity, never from execution order.
+
+Observability (see docs/OBSERVABILITY.md):
+
+* every experiment run writes a JSON **run manifest** under
+  ``--manifest-dir`` (default ``runs/``; suppress with ``--no-manifest``)
+  from which ``repro replay`` re-executes it bit-identically;
+* ``--metrics`` prints a metrics table after the run; ``--trace FILE``
+  records a Perfetto-loadable Chrome trace of the schedule;
+* ``--progress`` shows live per-cell progress for parallel sweeps.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
+import math
+import os
 import statistics
 import sys
 from typing import List, Optional
 
 
+# ----------------------------------------------------------------------
+# Argument validation
+# ----------------------------------------------------------------------
+def _jobs_type(value: str) -> int:
+    """``--jobs``: a non-negative integer (0 = all cores)."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {value!r}"
+        )
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 0 (0 = all cores), got {jobs}"
+        )
+    return jobs
+
+
+def _tau_list(value: str) -> List[float]:
+    """``--taus``: comma-separated positive finite ns values."""
+    taus: List[float] = []
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            raise argparse.ArgumentTypeError(
+                f"empty entry in τ list {value!r} (expected e.g. 440,740,1040)"
+            )
+        try:
+            tau = float(entry)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"τ entry {entry!r} is not a number"
+            )
+        if not math.isfinite(tau) or tau <= 0:
+            raise argparse.ArgumentTypeError(
+                f"τ entry {entry!r} must be a positive finite ns value"
+            )
+        taus.append(tau)
+    return taus
+
+
+# ----------------------------------------------------------------------
+# Manifest-recorded execution
+# ----------------------------------------------------------------------
+def _run(args: argparse.Namespace, experiment: str, params: dict,
+         extra_kwargs: Optional[dict] = None):
+    """Run a registry experiment through the manifest recorder.
+
+    The manifest lands in ``--manifest-dir`` (stderr notes the path so
+    stdout stays parseable); ``--no-manifest`` skips the write but still
+    runs through the same code path.
+    """
+    from repro.obs.manifest import run_recorded
+
+    out_dir = None if args.no_manifest else args.manifest_dir
+    result, _manifest, path = run_recorded(
+        experiment, params, out_dir=out_dir, extra_kwargs=extra_kwargs
+    )
+    if path:
+        print(f"[manifest] {path}", file=sys.stderr)
+    return result
+
+
 def _cmd_resolution(args: argparse.Namespace) -> None:
     from repro.analysis.histogram import ascii_histogram
-    from repro.experiments.resolution import run_resolution
 
-    run = run_resolution(
-        args.tau,
+    run = _run(args, "resolution", dict(
+        tau=args.tau,
         degrade_itlb=args.degrade,
         scheduler=args.scheduler,
         preemptions=args.preemptions,
         seed=args.seed,
-    )
+    ))
     print(f"τ = {args.tau:.0f} ns on {args.scheduler}"
           + (" + iTLB eviction" if args.degrade else ""))
     print(ascii_histogram(run.samples))
@@ -45,33 +120,27 @@ def _cmd_resolution(args: argparse.Namespace) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
-    from repro.experiments.resolution import tau_sweep
-
-    taus = [float(t) for t in args.taus.split(",")]
-    runs = tau_sweep(
-        taus,
+    runs = _run(args, "sweep", dict(
+        taus=args.taus,
         degrade_itlb=args.degrade,
         scheduler=args.scheduler,
         preemptions=args.preemptions,
         seed=args.seed,
-        jobs=args.jobs,
-    )
+    ), extra_kwargs=dict(jobs=args.jobs))
     print(f"τ sweep on {args.scheduler}"
           + (" + iTLB eviction" if args.degrade else "")
-          + f" ({len(taus)} cells, jobs={args.jobs}):")
+          + f" ({len(args.taus)} cells, jobs={args.jobs}):")
     for run in runs:
         print(f"τ={run.tau:7.0f} ns  {run.stats.describe()}")
 
 
 def _cmd_budget(args: argparse.Namespace) -> None:
-    from repro.experiments.preemption_count import run_budget_measurement
-
-    run = run_budget_measurement(
+    run = _run(args, "budget", dict(
         extra_compute_ns=args.extra,
         scheduler=args.scheduler,
         victim_nice=args.nice,
         seed=args.seed,
-    )
+    ))
     print(f"I_attacker − I_victim ≈ {run.drift_ns / 1000:.1f} µs "
           f"(victim nice {args.nice}, {args.scheduler})")
     print(f"consecutive preemptions: {run.preemptions} "
@@ -79,12 +148,10 @@ def _cmd_budget(args: argparse.Namespace) -> None:
 
 
 def _cmd_aes(args: argparse.Namespace) -> None:
-    from repro.attacks.aes_first_round import run_aes_accuracy_experiment
-
-    result = run_aes_accuracy_experiment(
+    result = _run(args, "aes", dict(
         n_keys=args.keys, n_traces=args.traces,
-        scheduler=args.scheduler, seed=args.seed, jobs=args.jobs,
-    )
+        scheduler=args.scheduler, seed=args.seed,
+    ), extra_kwargs=dict(jobs=args.jobs))
     print(f"AES first-round attack, {args.keys} keys × {args.traces} traces "
           f"({args.scheduler}):")
     print(f"mean upper-nibble accuracy: {result.mean_accuracy:.1%} "
@@ -92,12 +159,7 @@ def _cmd_aes(args: argparse.Namespace) -> None:
 
 
 def _cmd_sgx(args: argparse.Namespace) -> None:
-    from repro.attacks.sgx_base64 import run_sgx_base64_attack
-    from repro.victims.rsa import generate_rsa_key, pem_base64_body
-
-    key = generate_rsa_key(1024, rng=random.Random(args.seed))
-    body = pem_base64_body(key)
-    result = run_sgx_base64_attack(body, seed=args.seed)
+    result = _run(args, "sgx", dict(bits=1024, seed=args.seed))
     print(f"SGX base64 attack on a fresh RSA-1024 PEM "
           f"({result.char_count} chars):")
     print(f"single run : {result.single_run_coverage:6.1%} coverage, "
@@ -109,11 +171,8 @@ def _cmd_sgx(args: argparse.Namespace) -> None:
 
 
 def _cmd_btb(args: argparse.Namespace) -> None:
-    from repro.attacks.btb_gcd import run_btb_accuracy_experiment
-
-    results = run_btb_accuracy_experiment(
-        n_pairs=args.pairs, seed=args.seed, jobs=args.jobs
-    )
+    results = _run(args, "btb", dict(n_pairs=args.pairs, seed=args.seed),
+                   extra_kwargs=dict(jobs=args.jobs))
     mean = statistics.mean(r.accuracy for r in results)
     for r in results:
         print(f"gcd({r.a}, {r.b}): {r.iterations} iterations, "
@@ -124,21 +183,16 @@ def _cmd_btb(args: argparse.Namespace) -> None:
 
 def _cmd_colocation(args: argparse.Namespace) -> None:
     if args.trials > 1:
-        from repro.experiments.colocation import run_colocation_campaign
-
-        campaign = run_colocation_campaign(
-            n_trials=args.trials, n_cores=args.cores,
-            seed=args.seed, jobs=args.jobs,
-        )
+        campaign = _run(args, "colocation-campaign", dict(
+            n_trials=args.trials, n_cores=args.cores, seed=args.seed,
+        ), extra_kwargs=dict(jobs=args.jobs))
         print(f"{args.cores}-core machine, {args.trials} independent trials:")
         print(f"colocated on the target core: {campaign.successes}"
               f"/{campaign.n_trials} ({campaign.success_rate:.0%})")
         print(f"stayed colocated through the attack: {campaign.stayed}"
               f"/{campaign.n_trials}")
         return
-    from repro.experiments.colocation import run_colocation
-
-    outcome = run_colocation(n_cores=args.cores, seed=args.seed)
+    outcome = _run(args, "colocation", dict(n_cores=args.cores, seed=args.seed))
     print(f"{args.cores}-core machine, {args.cores - 1} pinned dummies:")
     print(f"victim landed on cpu{outcome.landed_cpu} "
           f"(target cpu{outcome.target_cpu}) — "
@@ -147,17 +201,75 @@ def _cmd_colocation(args: argparse.Namespace) -> None:
 
 
 def _cmd_mitigations(args: argparse.Namespace) -> None:
-    from repro.experiments.mitigations import evaluate_mitigations
-
-    results = evaluate_mitigations(
-        rounds=args.rounds, seed=args.seed, jobs=args.jobs
-    )
+    results = _run(args, "mitigations", dict(rounds=args.rounds, seed=args.seed),
+                   extra_kwargs=dict(jobs=args.jobs))
     for r in results:
         print(f"{r.name:<22} preemptions={r.consecutive_preemptions:<6} "
               f"median insts/preempt="
               f"{r.median_instructions_per_preemption:,.0f}")
 
 
+# ----------------------------------------------------------------------
+# Observability verbs
+# ----------------------------------------------------------------------
+def _traceable_params(args: argparse.Namespace) -> dict:
+    """Small-run parameters for the trace/stats demonstration verbs."""
+    if args.experiment == "resolution":
+        return dict(tau=args.tau, preemptions=args.preemptions,
+                    seed=args.seed)
+    return dict(extra_compute_ns=12_000.0, seed=args.seed)  # budget
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    import repro.obs as obs_mod
+
+    os.environ["REPRO_TRACE"] = "1"
+    obs_mod.reset()
+    try:
+        _run(args, args.experiment, _traceable_params(args))
+        tracer = obs_mod.get_obs().tracer
+        n = tracer.export(args.out)
+    finally:
+        os.environ.pop("REPRO_TRACE", None)
+        obs_mod.reset()
+    print(f"wrote {n} trace events to {args.out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+
+
+def _cmd_stats(args: argparse.Namespace) -> None:
+    import repro.obs as obs_mod
+
+    os.environ["REPRO_METRICS"] = "1"
+    obs_mod.reset()
+    try:
+        _run(args, args.experiment, _traceable_params(args))
+        obs = obs_mod.get_obs()
+        obs.publish()
+        print(obs.metrics.render())
+    finally:
+        os.environ.pop("REPRO_METRICS", None)
+        obs_mod.reset()
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import load_manifest, replay
+
+    manifest = load_manifest(args.manifest)
+    print(f"replaying {manifest.kind} manifest: {manifest.experiment} "
+          f"(seed {manifest.seed})")
+    _result, ok = replay(manifest)
+    if ok:
+        print(f"digest match: {manifest.result_digest[:16]}… — "
+              "run reproduced bit-identically")
+        return 0
+    print("DIGEST MISMATCH — the code or environment diverged from the "
+          "recording", file=sys.stderr)
+    return 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -165,10 +277,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
-        "--jobs", type=int, default=0, metavar="N",
+        "--jobs", type=_jobs_type, default=0, metavar="N",
         help="worker processes for independent trials "
              "(0 = all cores, 1 = serial; default: all cores)",
     )
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect metrics and print the table after the run")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record a Chrome/Perfetto trace to FILE")
+    parser.add_argument("--progress", action="store_true",
+                        help="live per-cell progress on stderr for sweeps")
+    parser.add_argument("--manifest-dir", default="runs", metavar="DIR",
+                        help="where run manifests are written (default: runs/)")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="do not write a run manifest")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("resolution", help="Fig 4.3/4.7 histogram cell")
@@ -180,7 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_resolution)
 
     p = sub.add_parser("sweep", help="τ sweep (parallel resolution cells)")
-    p.add_argument("--taus", default="440,590,740,890,1040",
+    p.add_argument("--taus", type=_tau_list, default=_tau_list("440,590,740,890,1040"),
                    help="comma-separated τ values (ns)")
     p.add_argument("--degrade", action="store_true",
                    help="evict the victim's iTLB entry each round")
@@ -218,13 +340,69 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("mitigations", help="§6 defence ablation")
     p.add_argument("--rounds", type=int, default=400)
     p.set_defaults(func=_cmd_mitigations)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a small experiment with tracing on and export a "
+             "Perfetto-loadable Chrome trace",
+    )
+    p.add_argument("experiment", choices=("resolution", "budget"))
+    p.add_argument("--tau", type=float, default=740.0)
+    p.add_argument("--preemptions", type=int, default=150,
+                   help="small by default: traces grow with run length")
+    p.add_argument("--out", default="trace.json", metavar="FILE")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "stats", help="run a small experiment with metrics on and print "
+                      "the metrics table",
+    )
+    p.add_argument("experiment", choices=("resolution", "budget"))
+    p.add_argument("--tau", type=float, default=740.0)
+    p.add_argument("--preemptions", type=int, default=300)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "replay", help="re-execute a run manifest and verify bit-identity",
+    )
+    p.add_argument("manifest", help="path to a manifest JSON file")
+    p.set_defaults(func=_cmd_replay)
     return parser
+
+
+def _configure_obs(args: argparse.Namespace) -> None:
+    """Install the run's observability config, via the environment so
+    process-pool workers (fork or spawn) inherit it."""
+    import repro.obs as obs_mod
+
+    def _set(name: str, on: bool, value: str = "1") -> None:
+        if on:
+            os.environ[name] = value
+        else:
+            os.environ.pop(name, None)
+
+    _set("REPRO_METRICS", bool(getattr(args, "metrics", False)))
+    _set("REPRO_TRACE", getattr(args, "trace", None) is not None)
+    _set("REPRO_PROGRESS", bool(getattr(args, "progress", False)))
+    manifest_dir = None if args.no_manifest else args.manifest_dir
+    _set("REPRO_MANIFEST_DIR", manifest_dir is not None, manifest_dir or "")
+    obs_mod.reset()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    _configure_obs(args)
+    rc = args.func(args) or 0
+    import repro.obs as obs_mod
+
+    obs = obs_mod.get_obs()
+    if getattr(args, "metrics", False) and obs.metrics.enabled:
+        obs.publish()
+        print(obs.metrics.render())
+    if getattr(args, "trace", None) and obs.tracer.enabled:
+        n = obs.tracer.export(args.trace)
+        print(f"[trace] wrote {n} events to {args.trace}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Sequence
 
 from repro.kernel import actions as act
+from repro.obs import get_obs
 from repro.uarch.timing import LATENCY
 
 
@@ -82,8 +83,12 @@ class OracleGatedMeasurer:
     def __init__(self, oracle: VictimPresenceOracle, measurer: Any):
         self.oracle = oracle
         self.measurer = measurer
+        metrics = get_obs().metrics
+        self._m_present = metrics.counter("attack.oracle_present")
+        self._m_absent = metrics.counter("attack.oracle_absent")
 
     def measure(self) -> Iterator[act.Action]:
         data = yield from self.measurer.measure()
         present = yield from self.oracle.measure()
+        (self._m_present if present else self._m_absent).inc()
         return (present, data)

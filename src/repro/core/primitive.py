@@ -25,6 +25,7 @@ from repro.kernel import actions as act
 from repro.kernel.kernel import Kernel
 from repro.kernel.threads import CoroutineBody
 from repro.core.wakeup import WakeupMethod
+from repro.obs import get_obs
 from repro.sched.task import Task
 
 
@@ -113,6 +114,10 @@ class ControlledPreemption:
         self.samples: List[Sample] = []
         self.exhausted_at: Optional[int] = None
         self.seek_rounds_used = 0
+        metrics = get_obs().metrics
+        self._m_samples = metrics.counter("attack.samples")
+        self._m_exhausted = metrics.counter("attack.budget_exhausted")
+        self._m_seek_rounds = metrics.counter("attack.seek_rounds")
         self.task = Task(name, body=CoroutineBody(self._body()), nice=nice)
 
     # ------------------------------------------------------------------
@@ -135,6 +140,7 @@ class ControlledPreemption:
             for _ in range(cfg.max_seek_rounds):
                 found = yield from self.seeker.measure()
                 self.seek_rounds_used += 1
+                self._m_seek_rounds.inc()
                 if found:
                     break
                 yield act.Nanosleep(cfg.seek_tau_ns)
@@ -161,10 +167,12 @@ class ControlledPreemption:
             )
             sample = Sample(index, now, gap, data, exhausted)
             self.samples.append(sample)
+            self._m_samples.inc()
             if self.on_sample is not None:
                 self.on_sample(sample)
             if exhausted and self.exhausted_at is None:
                 self.exhausted_at = index
+                self._m_exhausted.inc()
                 if cfg.stop_on_exhaustion:
                     break
             if cfg.method is WakeupMethod.NANOSLEEP:

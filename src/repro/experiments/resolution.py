@@ -19,6 +19,7 @@ from repro.core.wakeup import WakeupMethod
 from repro.cpu.program import StraightlineProgram
 from repro.experiments.setup import build_env
 from repro.kernel.threads import ProgramBody
+from repro.obs import get_obs
 from repro.parallel import derive_seed, starmap_kwargs
 from repro.sched.task import Task, TaskState
 from repro.victims.layout import ATTACKER_TLB_ARENA
@@ -73,7 +74,9 @@ def run_resolution(
     samples: List[int] = []
     env.kernel.spawn(victim, cpu=0)
     episode = 0
+    m_episodes = get_obs().metrics.counter("attack.episodes")
     while len(samples) < preemptions and episode < 64:
+        m_episodes.inc()
         attacker = ControlledPreemption(
             PreemptionConfig(
                 nap_ns=tau,

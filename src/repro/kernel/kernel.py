@@ -46,6 +46,7 @@ from repro.kernel.tracing import (
     SwitchRecord,
     WakeupRecord,
 )
+from repro.obs import Observability, get_obs
 from repro.sched.base import SchedPolicy
 from repro.sched.loadbalance import BALANCE_INTERVAL_NS, LoadBalancer
 from repro.sched.runqueue import RunQueue
@@ -256,6 +257,7 @@ class Kernel:
         tracer: Optional[KernelTracer] = None,
         config: Optional[KernelConfig] = None,
         cost_params: Optional[CostParams] = None,
+        obs: Optional[Observability] = None,
     ):
         self.machine = machine
         self.policy = policy
@@ -268,6 +270,31 @@ class Kernel:
         self.cpus = [_CpuState(RunQueue(c)) for c in range(machine.n_cores)]
         self.balancer = LoadBalancer([st.rq for st in self.cpus])
         self.tasks: List[Task] = []
+        # Observability: instruments are bound once here; with the
+        # default (disabled) registry they are shared no-op singletons,
+        # so instrumented sites cost one empty method call.  Tracing is
+        # additionally guarded by ``self._tracing`` at each site.
+        self.obs = obs if obs is not None else get_obs()
+        metrics = self.obs.metrics
+        self._metrics_on = metrics.enabled
+        self._m_switches = metrics.counter("kernel.switches")
+        self._m_switch_reason = {
+            reason: metrics.counter(f"kernel.switch.{reason}")
+            for reason in ("block", "preempt_wakeup", "tick", "exit", "idle")
+        }
+        self._m_wakeups = metrics.counter("kernel.wakeups")
+        self._m_grant = metrics.counter("sched.wakeup_preempt.granted")
+        self._m_deny = metrics.counter("sched.wakeup_preempt.denied")
+        self._h_wakeup_lag = metrics.histogram("sched.wakeup_lag_ns")
+        self._m_timer_fires = metrics.counter("kernel.timer_fires")
+        if self._metrics_on:
+            self.obs.attach_kernel(self)
+        self._trace = self.obs.tracer
+        self._tracing = self._trace.enabled
+        self._open_spans: List[Optional[Task]] = [None] * machine.n_cores
+        if self._tracing:
+            for c in range(machine.n_cores):
+                self._trace.process_name(c, f"cpu{c}")
         if self.config.enable_load_balancer and machine.n_cores > 1:
             self.sim.call_after(self.config.balance_interval, self._balance_tick,
                                label="balance")
@@ -510,6 +537,9 @@ class Kernel:
             self.tracer.record_switch(
                 SwitchRecord(now, cpu, curr.pid, None, "exit", curr.vruntime)
             )
+            self._m_switch_reason["exit"].inc()
+            if self._tracing:
+                self._trace_sched_out(cpu, now, "exit")
             self._begin_switch(cpu)
             return
         syscall_ns = self.costs.syscall_entry()
@@ -526,6 +556,9 @@ class Kernel:
         self.tracer.record_switch(
             SwitchRecord(now, cpu, curr.pid, None, "block", curr.vruntime)
         )
+        self._m_switch_reason["block"].inc()
+        if self._tracing:
+            self._trace_sched_out(cpu, end, "block")
         self._begin_switch(cpu, at=end)
 
     # ------------------------------------------------------------------
@@ -533,6 +566,7 @@ class Kernel:
     # ------------------------------------------------------------------
     def _fire_timer(self, cpu: int, timer: _Timer) -> float:
         """Deliver one due timer; returns extra IRQ-path nanoseconds."""
+        self._m_timer_fires.inc()
         extra = self.costs.timer_fire()
         task = timer.task
         if timer.interval is not None and not timer.cancelled:
@@ -572,6 +606,18 @@ class Kernel:
         preempt = False
         if curr is not None:
             preempt = self.policy.wants_wakeup_preempt(st.rq, curr, task)
+        self._m_wakeups.inc()
+        if curr is not None:
+            (self._m_grant if preempt else self._m_deny).inc()
+            if self._metrics_on:
+                # Eq 2.2 margin: how far behind the current task the
+                # wakee was placed (positive → wakee is owed CPU).
+                self._h_wakeup_lag.observe(curr.vruntime - task.vruntime)
+        if self._tracing:
+            self._trace.instant(
+                f"wakeup pid{task.pid}", self.sim.now, target, task.pid,
+                args={"preempted": preempt, "placed_vruntime": task.vruntime},
+            )
         self.tracer.record_wakeup(
             WakeupRecord(
                 self.sim.now,
@@ -626,6 +672,9 @@ class Kernel:
             self.tracer.record_switch(
                 SwitchRecord(now, cpu, prev.pid if prev else None, None, "idle")
             )
+            self._m_switch_reason["idle"].inc()
+            if self._tracing:
+                self._trace_sched_out(cpu, now, "idle")
             pending = [t.expiry for t in st.timers if not t.cancelled]
             if pending:
                 self._schedule_dispatch(cpu, min(pending))
@@ -647,6 +696,17 @@ class Kernel:
                 next_task.vruntime,
             )
         )
+        self._m_switches.inc()
+        counter = self._m_switch_reason.get(reason)
+        if counter is not None:
+            counter.inc()
+        if self._tracing:
+            self._trace_sched_out(cpu, now, reason)
+            if reason == "preempt_wakeup":
+                self._trace.instant(
+                    f"preempt pid{next_task.pid}", now, cpu, next_task.pid,
+                    args={"prev_pid": prev.pid if prev else None},
+                )
         self.sim.call_at(
             max(now + cost, self.sim.now),
             lambda c=cpu, t=next_task: self._finish_switch(c, t),
@@ -676,8 +736,24 @@ class Kernel:
                     task.pid, task.body.program, self.config.aex_notify_depth
                 )
                 delay += self.costs.eresume()
+        if self._tracing:
+            self._trace_sched_in(cpu, now, task)
         self._record_exit(cpu, task)
         self._schedule_dispatch(cpu, now + delay)
+
+    # ------------------------------------------------------------------
+    # Trace-span maintenance (only called when tracing is enabled)
+    # ------------------------------------------------------------------
+    def _trace_sched_in(self, cpu: int, ts: float, task: Task) -> None:
+        self._trace.thread_name(cpu, task.pid, f"{task.name} (pid {task.pid})")
+        self._trace.begin(task.name, ts, cpu, task.pid)
+        self._open_spans[cpu] = task
+
+    def _trace_sched_out(self, cpu: int, ts: float, reason: str) -> None:
+        task = self._open_spans[cpu]
+        if task is not None:
+            self._trace.end(task.name, ts, cpu, task.pid, args={"reason": reason})
+            self._open_spans[cpu] = None
 
     def _record_exit(self, cpu: int, task: Task) -> None:
         pc = None

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.obs.ring import RingBuffer
+
 
 @dataclass(frozen=True)
 class SwitchRecord:
@@ -67,13 +69,24 @@ class VruntimeSample:
 
 
 class KernelTracer:
-    """Collects scheduling events for offline analysis."""
+    """Collects scheduling events for offline analysis.
 
-    def __init__(self, *, sample_vruntime: bool = False):
-        self.switches: List[SwitchRecord] = []
-        self.exits: List[ExitToUserRecord] = []
-        self.wakeups: List[WakeupRecord] = []
-        self.vruntime_samples: List[VruntimeSample] = []
+    Records live in :class:`repro.obs.ring.RingBuffer` streams.  The
+    default (``max_records=None``) is unbounded, exactly like the plain
+    lists this used to hold — right for analysis runs that consume the
+    whole stream.  Long characterization runs (repeated budget
+    episodes) should pass ``max_records`` to cap each stream at the
+    newest N records: memory becomes O(N) instead of O(run-length), and
+    each stream's ``dropped`` counter says how much history was shed.
+    """
+
+    def __init__(self, *, sample_vruntime: bool = False,
+                 max_records: Optional[int] = None):
+        self.max_records = max_records
+        self.switches: RingBuffer = RingBuffer(max_records)
+        self.exits: RingBuffer = RingBuffer(max_records)
+        self.wakeups: RingBuffer = RingBuffer(max_records)
+        self.vruntime_samples: RingBuffer = RingBuffer(max_records)
         self.sample_vruntime = sample_vruntime
 
     # ------------------------------------------------------------------

@@ -31,7 +31,9 @@ from __future__ import annotations
 
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -44,6 +46,41 @@ __all__ = [
     "starmap_kwargs",
     "run_trials",
 ]
+
+
+class _Progress:
+    """Live per-cell progress line on stderr (``--progress``).
+
+    One ``\\r``-rewritten line: completed/total cells, throughput, and
+    elapsed wall time.  Deliberately stderr so piped stdout output stays
+    machine-readable.
+    """
+
+    def __init__(self, total: int):
+        self.total = total
+        self.done = 0
+        self.start = time.perf_counter()
+
+    def update(self, n: int = 1) -> None:
+        self.done += n
+        elapsed = time.perf_counter() - self.start
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        sys.stderr.write(
+            f"\r[repro] {self.done}/{self.total} cells · "
+            f"{rate:5.2f} cells/s · {elapsed:6.1f}s"
+        )
+        sys.stderr.flush()
+
+    def finish(self) -> None:
+        if self.done:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+def _progress_enabled(progress: Optional[bool]) -> bool:
+    if progress is not None:
+        return progress
+    return os.environ.get("REPRO_PROGRESS", "").strip() not in ("", "0", "false")
 
 
 def derive_seed(root_seed: int, *identity: object) -> int:
@@ -77,7 +114,8 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def parallel_map(
-    fn: Callable[[T], R], items: Sequence[T], *, jobs: Optional[int] = None
+    fn: Callable[[T], R], items: Sequence[T], *, jobs: Optional[int] = None,
+    progress: Optional[bool] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across a process pool.
 
@@ -88,23 +126,60 @@ def parallel_map(
 
     ``fn`` and every item must be picklable when ``jobs > 1`` (i.e. a
     module-level function and plain-data arguments).
+
+    ``progress`` (or ``REPRO_PROGRESS=1``) renders a live completed/
+    total + throughput line on stderr as cells finish.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
+    show = _progress_enabled(progress) and len(items) > 1
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return _serial_map(fn, items, show)
     workers = min(jobs, len(items))
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=1))
+            if not show:
+                return list(pool.map(fn, items, chunksize=1))
+            # submit + as_completed so the progress line advances per
+            # completion; results still reassemble in submission order.
+            meter = _Progress(len(items))
+            futures = [pool.submit(fn, item) for item in items]
+            try:
+                for _ in as_completed(futures):
+                    meter.update()
+            finally:
+                meter.finish()
+            return [f.result() for f in futures]
     except (OSError, PermissionError):
         # Sandboxes without fork/semaphore support degrade to serial —
         # same results, just slower.
+        return _serial_map(fn, items, show)
+
+
+def _serial_map(fn: Callable[[T], R], items: Sequence[T], show: bool) -> List[R]:
+    if not show:
         return [fn(item) for item in items]
+    meter = _Progress(len(items))
+    results: List[R] = []
+    try:
+        for item in items:
+            results.append(fn(item))
+            meter.update()
+    finally:
+        meter.finish()
+    return results
 
 
 def _invoke_kwargs(payload: Any) -> Any:
     fn, kwargs = payload
+    manifest_dir = os.environ.get("REPRO_MANIFEST_DIR", "").strip()
+    if manifest_dir:
+        # Runs inside pool workers too: workers inherit the env var, so
+        # every parallel cell leaves the same manifest a serial cell
+        # would.  Import is lazy to keep the pickling path light.
+        from repro.obs.manifest import record_cell
+
+        return record_cell(fn, kwargs, manifest_dir)
     return fn(**kwargs)
 
 
@@ -113,6 +188,7 @@ def starmap_kwargs(
     kwargs_list: Iterable[Dict[str, Any]],
     *,
     jobs: Optional[int] = None,
+    progress: Optional[bool] = None,
 ) -> List[R]:
     """``[fn(**kw) for kw in kwargs_list]`` with optional parallelism.
 
@@ -121,7 +197,7 @@ def starmap_kwargs(
     its own derived seed) applied to one module-level cell function.
     """
     payloads = [(fn, dict(kw)) for kw in kwargs_list]
-    return parallel_map(_invoke_kwargs, payloads, jobs=jobs)
+    return parallel_map(_invoke_kwargs, payloads, jobs=jobs, progress=progress)
 
 
 def run_trials(

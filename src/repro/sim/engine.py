@@ -98,6 +98,11 @@ class Simulator:
         self._seq = 0
         self._live = 0  # non-cancelled, not-yet-fired events in the heap
         self._running = False
+        #: Events executed so far — the engine-throughput numerator for
+        #: the obs layer (events/s over wall time).  One integer add per
+        #: event; everything else obs needs is pulled from existing
+        #: state at snapshot time.
+        self.events_fired = 0
 
     @property
     def now(self) -> float:
@@ -162,6 +167,7 @@ class Simulator:
                 continue
             event.fired = True
             self._live -= 1
+            self.events_fired += 1
             self._now = event.time
             event.callback()
             return True

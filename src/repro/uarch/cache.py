@@ -74,7 +74,7 @@ class CacheLevel:
     dict of line addresses, most-recently-used last.
     """
 
-    __slots__ = ("name", "geometry", "_sets", "hits", "misses",
+    __slots__ = ("name", "geometry", "_sets", "hits", "misses", "evictions",
                  "_set_mask", "_line_size", "_n_ways")
 
     def __init__(self, name: str, geometry: CacheGeometry):
@@ -86,6 +86,7 @@ class CacheLevel:
         self._sets: List[Dict[int, None]] = [{} for _ in range(geometry.n_sets)]
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         # Hoisted set-index math: the geometry is frozen, so the mask,
         # line size and associativity never change after construction.
         self._set_mask = geometry.n_sets - 1
@@ -133,6 +134,7 @@ class CacheLevel:
         if len(bucket) >= self._n_ways:
             victim = next(iter(bucket))
             del bucket[victim]
+            self.evictions += 1
         bucket[line] = None
         return victim
 

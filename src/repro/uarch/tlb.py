@@ -48,7 +48,7 @@ class Tlb:
     O(ways) ``list.remove`` the previous representation paid per hit.
     """
 
-    __slots__ = ("name", "geometry", "_sets", "hits", "misses",
+    __slots__ = ("name", "geometry", "_sets", "hits", "misses", "evictions",
                  "_n_sets", "_n_ways")
 
     def __init__(self, name: str, geometry: TlbGeometry):
@@ -59,6 +59,7 @@ class Tlb:
         self._sets: List[Dict[Tag, None]] = [{} for _ in range(geometry.n_sets)]
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._n_sets = geometry.n_sets
         self._n_ways = geometry.n_ways
 
@@ -84,6 +85,7 @@ class Tlb:
             del bucket[tag]
         elif len(bucket) >= self._n_ways:
             del bucket[next(iter(bucket))]
+            self.evictions += 1
         bucket[tag] = None
 
     def invalidate(self, asid: int, vpn: int) -> bool:

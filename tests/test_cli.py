@@ -24,9 +24,40 @@ class TestParser:
             build_parser().parse_args(["resolution", "--scheduler", "bfs"])
 
 
+class TestValidation:
+    def test_negative_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "-3", "sweep"])
+        assert "worker count must be >= 0" in capsys.readouterr().err
+
+    def test_non_integer_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "two", "sweep"])
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_taus_empty_entry_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--taus", "700,,740"])
+        assert "empty entry" in capsys.readouterr().err
+
+    def test_taus_garbage_entry_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--taus", "700,abc"])
+        assert "not a number" in capsys.readouterr().err
+
+    def test_taus_nonpositive_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--taus", "700,-5"])
+        assert "positive" in capsys.readouterr().err
+
+    def test_taus_parse_to_floats(self):
+        args = build_parser().parse_args(["sweep", "--taus", "700, 740"])
+        assert args.taus == [700.0, 740.0]
+
+
 class TestCommands:
     def test_budget_command_runs(self, capsys):
-        assert main(["budget", "--extra", "40000"]) == 0
+        assert main(["--no-manifest", "budget", "--extra", "40000"]) == 0
         out = capsys.readouterr().out
         assert "consecutive preemptions" in out
 
@@ -43,3 +74,29 @@ class TestCommands:
     def test_btb_command_runs(self, capsys):
         assert main(["btb", "--pairs", "1"]) == 0
         assert "branch accuracy" in capsys.readouterr().out
+
+    def test_manifest_written_by_default_dir_flag(self, tmp_path, capsys):
+        assert main(["--manifest-dir", str(tmp_path), "budget",
+                     "--extra", "40000"]) == 0
+        manifests = list(tmp_path.glob("run-budget-*.json"))
+        assert len(manifests) == 1
+        assert str(manifests[0]) in capsys.readouterr().err
+
+    def test_stats_command_prints_metrics(self, capsys):
+        assert main(["--no-manifest", "stats", "resolution",
+                     "--preemptions", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel.switches" in out
+        assert "attack.samples" in out
+
+    def test_metrics_flag_prints_table(self, capsys):
+        assert main(["--no-manifest", "--metrics", "budget",
+                     "--extra", "40000"]) == 0
+        assert "kernel.switch.preempt_wakeup" in capsys.readouterr().out
+
+    def test_replay_command_round_trips(self, tmp_path, capsys):
+        assert main(["--manifest-dir", str(tmp_path), "resolution",
+                     "--preemptions", "40"]) == 0
+        manifest = next(tmp_path.glob("run-resolution-*.json"))
+        assert main(["--no-manifest", "replay", str(manifest)]) == 0
+        assert "bit-identically" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Event tracer: recording, ring bounding, Chrome-trace schema, and the
+end-to-end acceptance check that a traced resolution run shows attacker
+preemption spans."""
+
+import json
+
+import pytest
+
+import repro.obs as obs_mod
+from repro.obs.trace import EventTracer, REQUIRED_FIELDS, validate_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_default():
+    """Keep the process-wide obs default out of these tests' way."""
+    obs_mod.reset()
+    yield
+    obs_mod.reset()
+
+
+class TestRecording:
+    def test_span_and_instant_events(self):
+        tracer = EventTracer()
+        tracer.begin("victim", 100.0, pid=0, tid=7)
+        tracer.instant("wakeup", 150.0, pid=0, tid=8, args={"preempted": True})
+        tracer.end("victim", 200.0, pid=0, tid=7)
+        tracer.complete("irq", 300.0, 25.0, pid=0, tid=0)
+        assert len(tracer) == 4
+
+    def test_disabled_records_nothing(self):
+        tracer = EventTracer(enabled=False)
+        tracer.begin("x", 0.0, 0, 0)
+        tracer.instant("y", 1.0, 0, 0)
+        tracer.thread_name(0, 1, "t")
+        assert len(tracer) == 0
+        assert tracer.to_chrome()["traceEvents"] == []
+
+    def test_ring_bounding_counts_drops(self):
+        tracer = EventTracer(capacity=8)
+        for i in range(20):
+            tracer.instant(f"e{i}", float(i), 0, 0)
+        assert len(tracer) == 8
+        chrome = tracer.to_chrome()
+        assert chrome["otherData"]["dropped_events"] == 12
+        names = [e["name"] for e in chrome["traceEvents"]]
+        assert names == [f"e{i}" for i in range(12, 20)]
+
+    def test_track_names_survive_wraparound(self):
+        tracer = EventTracer(capacity=2)
+        tracer.process_name(0, "cpu0")
+        tracer.thread_name(0, 7, "victim")
+        for i in range(10):
+            tracer.instant(f"e{i}", float(i), 0, 7)
+        metadata = [e for e in tracer.to_chrome()["traceEvents"]
+                    if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in metadata} == {"cpu0", "victim"}
+
+
+class TestChromeExport:
+    def test_schema_fields_and_units(self):
+        tracer = EventTracer()
+        tracer.begin("span", 2000.0, 0, 1, args={"reason": "tick"})
+        tracer.end("span", 4000.0, 0, 1)
+        tracer.complete("x", 1000.0, 500.0, 0, 2)
+        tracer.instant("mark", 3000.0, 0, 1)
+        chrome = tracer.to_chrome()
+        assert validate_chrome_trace(chrome) == []
+        by_ph = {e["ph"]: e for e in chrome["traceEvents"]}
+        assert by_ph["B"]["ts"] == 2.0  # ns → µs
+        assert by_ph["X"]["dur"] == 0.5
+        assert by_ph["i"]["s"] == "t"
+        assert by_ph["B"]["args"] == {"reason": "tick"}
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        tracer = EventTracer()
+        tracer.begin("a", 0.0, 0, 1)
+        tracer.end("a", 10.0, 0, 1)
+        path = tmp_path / "trace.json"
+        n = tracer.export(str(path))
+        assert n == 2
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+    def test_validator_flags_bad_events(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "B"}]}
+        )
+        assert any("missing" in p for p in problems)
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+
+class TestEndToEnd:
+    """Acceptance criterion: a traced run produces valid Chrome JSON
+    showing the attacker's preemption spans."""
+
+    def test_traced_resolution_run(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        assert main(["--no-manifest", "trace", "resolution",
+                     "--preemptions", "60", "--out", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        for event in events:
+            for field in REQUIRED_FIELDS:
+                assert field in event
+        # Attacker schedule-in spans exist and are preemption-marked.
+        attacker_spans = [e for e in events
+                         if e["ph"] == "B" and e["name"].startswith("attacker")]
+        assert attacker_spans, "no attacker spans in trace"
+        preempts = [e for e in events
+                    if e["ph"] == "i" and e["name"].startswith("preempt")]
+        assert preempts, "no preemption markers in trace"
+        # Victim lane exists too, on the same simulated CPU.
+        assert any(e["ph"] == "B" and e["name"] == "victim" for e in events)
+
+    def test_trace_determinism(self, tmp_path):
+        """Tracing must not perturb results: same seed, same samples."""
+        from repro.experiments.resolution import run_resolution
+
+        baseline = run_resolution(740.0, preemptions=40, seed=3).samples
+        obs_mod.configure(trace=True)
+        try:
+            traced = run_resolution(740.0, preemptions=40, seed=3).samples
+        finally:
+            obs_mod.reset()
+        assert traced == baseline
