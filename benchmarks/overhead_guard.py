@@ -54,6 +54,27 @@ print(time.perf_counter() - t0)
 """
 
 
+#: How to get a usable baseline when the guard can't — printed with
+#: every baseline-side failure so the fix is in the log, not a wiki.
+BASELINE_HELP = """\
+[overhead-guard] to regenerate a usable baseline:
+  * fetch the comparison ref:        git fetch origin main
+  * in CI, check out full history:   actions/checkout with fetch-depth: 0
+  * or point at any local commit:    --baseline-ref HEAD~1
+The guard compares against a `git worktree` of --baseline-ref; it needs
+that ref to exist locally and to contain src/repro/experiments/."""
+
+
+class TreeTimingError(RuntimeError):
+    """A timed subprocess failed; carries which tree and the child's
+    stderr so the caller can decide skip-vs-fail."""
+
+    def __init__(self, tree: Path, detail: str):
+        super().__init__(f"benchmark child failed in {tree}: {detail}")
+        self.tree = tree
+        self.detail = detail
+
+
 def _time_tree(tree: Path, *, metrics: bool = False) -> float:
     """One timed sweep in a subprocess rooted at ``tree``."""
     env = dict(os.environ, PYTHONPATH="src")
@@ -67,8 +88,13 @@ def _time_tree(tree: Path, *, metrics: bool = False) -> float:
         capture_output=True, text=True, timeout=600,
     )
     if out.returncode != 0:
-        raise RuntimeError(out.stderr.strip() or "benchmark child failed")
-    return float(out.stdout.strip().splitlines()[-1])
+        raise TreeTimingError(tree, out.stderr.strip() or "no stderr")
+    try:
+        return float(out.stdout.strip().splitlines()[-1])
+    except (IndexError, ValueError):
+        raise TreeTimingError(
+            tree, f"expected a seconds value on stdout, got "
+                  f"{out.stdout.strip()!r}")
 
 
 def _prepare_baseline(ref: str, dest: Path) -> bool:
@@ -114,18 +140,35 @@ def main() -> int:
     with tempfile.TemporaryDirectory(prefix="obs-guard-") as tmp:
         baseline_tree = Path(tmp) / "baseline"
         if not _prepare_baseline(args.baseline_ref, baseline_tree):
+            print(BASELINE_HELP, file=sys.stderr)
             print("[overhead-guard] SKIP — no usable baseline; "
                   "guard not evaluated")
             return 0
         try:
             base_times, curr_times = [], []
             for i in range(args.rounds):
-                base_times.append(_time_tree(baseline_tree))
+                try:
+                    base_times.append(_time_tree(baseline_tree))
+                except TreeTimingError as exc:
+                    # Baseline trouble is harness trouble: warn with the
+                    # fix, don't brick CI over it.
+                    print(f"[overhead-guard] baseline run failed: "
+                          f"{exc.detail}", file=sys.stderr)
+                    print(BASELINE_HELP, file=sys.stderr)
+                    print("[overhead-guard] SKIP — baseline not "
+                          "measurable; guard not evaluated")
+                    return 0
                 curr_times.append(_time_tree(REPO))
                 print(f"round {i + 1}/{args.rounds}: "
                       f"baseline {base_times[-1]:.4f}s  "
                       f"current {curr_times[-1]:.4f}s")
             metrics_on = _time_tree(REPO, metrics=True)
+        except TreeTimingError as exc:
+            # The *current* tree failing to run the workload is a real
+            # regression, not harness trouble.
+            print(f"[overhead-guard] FAIL: current tree cannot run the "
+                  f"guard workload: {exc.detail}", file=sys.stderr)
+            return 1
         finally:
             _remove_baseline(baseline_tree)
 

@@ -251,6 +251,48 @@ def _cmd_stats(args: argparse.Namespace) -> None:
         obs_mod.reset()
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate.harness import run_validate
+
+    out_dir = None if args.no_manifest else args.manifest_dir
+    report = run_validate(
+        cases=args.cases,
+        seed=args.seed,
+        cpus=args.cpus,
+        scheduler=args.sched,
+        bug=args.inject_bug,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+        out_dir=out_dir,
+        max_tasks=args.max_tasks,
+    )
+    total = args.cases * len(report.schedulers)
+    print(f"{total} cases on {'/'.join(report.schedulers)} "
+          f"({args.cpus} CPUs, seed {args.seed}): "
+          f"{report.n_switches} switches, {report.n_wakeups} wakeups, "
+          f"{report.n_preempt_grants} wakeup preemptions")
+    print(f"campaign digest: {report.digest[:16]}…")
+    if report.ok:
+        if args.inject_bug:
+            print(f"injected bug {args.inject_bug!r} was NOT caught "
+                  "by any invariant", file=sys.stderr)
+            return 1
+        print("all invariants held")
+        return 0
+    print(f"{len(report.failures)} violating case(s):")
+    for failure in report.failures:
+        print(f"  [{failure.scheduler}] seed {failure.case_seed}: "
+              f"{', '.join(failure.invariants)} "
+              f"(shrunk to {failure.shrunk_tasks} task(s))")
+        if failure.reproducer_path:
+            print(f"    reproducer: {failure.reproducer_path} "
+                  "(re-run with `python -m repro replay`)")
+    if args.inject_bug:
+        print(f"injected bug {args.inject_bug!r} caught, as expected")
+        return 0
+    return 1
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.obs.manifest import load_manifest, replay
 
@@ -361,6 +403,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tau", type=float, default=740.0)
     p.add_argument("--preemptions", type=int, default=300)
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "validate",
+        help="fuzz the simulated schedulers against invariant oracles "
+             "(see docs/VALIDATION.md)",
+    )
+    p.add_argument("--cases", type=int, default=200,
+                   help="random workloads per scheduler (default: 200)")
+    p.add_argument("--cpus", type=int, default=2,
+                   help="simulated CPUs per case (default: 2)")
+    p.add_argument("--sched", choices=("cfs", "eevdf", "both"),
+                   default="both")
+    p.add_argument("--max-tasks", type=int, default=6,
+                   help="max tasks per generated workload (default: 6)")
+    from repro.validate.harness import BUG_NAMES as _bugs
+    p.add_argument("--inject-bug", choices=_bugs, default=None,
+                   help="plant a known scheduler bug to demonstrate the "
+                        "oracles catch it (exit 0 iff caught)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip minimizing failing cases")
+    # Accept the global --seed/--jobs after the verb too (SUPPRESS keeps
+    # the subparser from clobbering a value given before it).
+    p.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    p.add_argument("--jobs", type=_jobs_type, default=argparse.SUPPRESS,
+                   metavar="N")
+    p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser(
         "replay", help="re-execute a run manifest and verify bit-identity",

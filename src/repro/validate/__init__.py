@@ -1,0 +1,37 @@
+"""repro.validate — randomized scheduler-invariant fuzzing.
+
+The trustworthiness of every figure in this reproduction rests on the
+simulated CFS/EEVDF kernels behaving like the real ones.  This package
+checks them against machine-readable invariants under *randomized*
+workloads rather than curated experiment configs:
+
+* :mod:`repro.validate.workload` — seeded random task-mix generator;
+* :mod:`repro.validate.invariants` — online and post-hoc oracles
+  (Eq 2.1/2.2 reference reimplementations, vruntime/min_vruntime
+  monotonicity, EEVDF eligibility, work conservation, lost wakeups,
+  runtime conservation);
+* :mod:`repro.validate.harness` — case runner + the ``repro validate``
+  fuzz campaign (pool-parallel, bit-deterministic);
+* :mod:`repro.validate.differential` — same workload across CFS/EEVDF
+  and feature-flag variants;
+* :mod:`repro.validate.shrink` — greedy minimization of failing cases
+  into replayable run manifests.
+
+See docs/VALIDATION.md for the invariant catalogue and usage.
+"""
+
+from repro.validate.harness import (  # noqa: F401
+    BUG_NAMES,
+    CaseOutcome,
+    ValidateReport,
+    replay_case,
+    run_case,
+    run_validate,
+)
+from repro.validate.invariants import InvariantMonitor, Violation  # noqa: F401
+from repro.validate.shrink import shrink_workload  # noqa: F401
+from repro.validate.workload import (  # noqa: F401
+    TaskSpec,
+    WorkloadSpec,
+    generate_workload,
+)

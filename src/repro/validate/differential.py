@@ -1,0 +1,117 @@
+"""Differential validation: one workload, many scheduler configurations.
+
+Runs the *identical* workload under CFS and EEVDF and under the
+feature-flag variants of :mod:`repro.sched.features`, asserting the
+shared invariants in every configuration, and summarizing how the
+policies *diverge* (switch counts, wakeup-preemption grants, per-task
+CPU shares).  Divergence is reported, never failed: CFS and EEVDF are
+*supposed* to schedule differently — that difference is the paper's
+§4.5 subject — but both must stay inside the invariant envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.validate.harness import CaseOutcome, run_case
+from repro.validate.workload import (
+    FEATURE_VARIANTS,
+    WorkloadSpec,
+    generate_workload,
+)
+
+__all__ = ["ConfigResult", "DifferentialReport", "run_differential"]
+
+#: (scheduler, variant) grid exercised by default.  EEVDF-only flags
+#: are skipped on CFS and vice versa.
+DEFAULT_GRID: Tuple[Tuple[str, str], ...] = (
+    ("cfs", "default"),
+    ("cfs", "no-gentle-sleepers"),
+    ("cfs", "no-wakeup-preemption"),
+    ("cfs", "min-slice-guard"),
+    ("eevdf", "default"),
+    ("eevdf", "run-to-parity"),
+    ("eevdf", "no-place-lag"),
+)
+
+
+@dataclass(frozen=True)
+class ConfigResult:
+    """One (scheduler, feature-variant) run of the shared workload."""
+
+    scheduler: str
+    variant: str
+    outcome: CaseOutcome
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    seed: int
+    results: Tuple[ConfigResult, ...]
+    #: Human-readable policy-divergence lines (cfs vs eevdf defaults).
+    divergence: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.outcome.ok for r in self.results)
+
+    def violating(self) -> Tuple[ConfigResult, ...]:
+        return tuple(r for r in self.results if not r.outcome.ok)
+
+
+def _divergence_summary(by_config: Dict[Tuple[str, str], CaseOutcome]
+                        ) -> Tuple[str, ...]:
+    cfs = by_config.get(("cfs", "default"))
+    eevdf = by_config.get(("eevdf", "default"))
+    if cfs is None or eevdf is None:
+        return ()
+    lines = [
+        f"switches: cfs={cfs.n_switches} eevdf={eevdf.n_switches}",
+        f"wakeup-preempt grants: cfs={cfs.n_preempt_grants} "
+        f"eevdf={eevdf.n_preempt_grants} "
+        f"(of {cfs.n_wakeups}/{eevdf.n_wakeups} wakeups)",
+    ]
+    cfs_rt = dict(cfs.per_task_runtime)
+    eevdf_rt = dict(eevdf.per_task_runtime)
+    total_cfs = sum(cfs_rt.values()) or 1.0
+    total_eevdf = sum(eevdf_rt.values()) or 1.0
+    for pid in sorted(cfs_rt):
+        share_c = cfs_rt[pid] / total_cfs
+        share_e = eevdf_rt.get(pid, 0.0) / total_eevdf
+        if abs(share_c - share_e) > 0.02:
+            lines.append(
+                f"pid{pid} CPU share: cfs={share_c:.1%} eevdf={share_e:.1%}")
+    return tuple(lines)
+
+
+def run_differential(
+    seed: int = 0,
+    *,
+    cpus: int = 2,
+    max_tasks: int = 6,
+    spec: Optional[WorkloadSpec] = None,
+    grid: Tuple[Tuple[str, str], ...] = DEFAULT_GRID,
+    bug: Optional[str] = None,
+) -> DifferentialReport:
+    """Run one workload across the scheduler/feature grid.
+
+    The workload's own feature draw is overridden per grid entry so
+    every configuration sees the *same* task mix.
+    """
+    if spec is None:
+        spec = generate_workload(seed, n_cpus=cpus, max_tasks=max_tasks,
+                                 feature_variants=False)
+    results = []
+    by_config: Dict[Tuple[str, str], CaseOutcome] = {}
+    for scheduler, variant in grid:
+        features = FEATURE_VARIANTS[variant]
+        configured = replace(spec, features=dict(features))
+        outcome = run_case(configured, scheduler, bug=bug)
+        by_config[(scheduler, variant)] = outcome
+        results.append(ConfigResult(scheduler, variant, outcome))
+    return DifferentialReport(
+        seed=spec.seed,
+        results=tuple(results),
+        divergence=_divergence_summary(by_config),
+    )

@@ -1,0 +1,184 @@
+"""Greedy workload shrinking for failing fuzz cases.
+
+Given a workload that violates an invariant and a ``still_fails``
+predicate (re-runs the case and checks that the *same* invariant still
+fires), :func:`shrink_workload` applies reduction passes until a fix
+point: drop whole tasks, truncate event tails, delete single events,
+then neutralize fields (nice → 0, unpin, drop wake placement, reset
+feature flags, collapse to one CPU).  Each accepted reduction keeps the
+violation alive, so the result is a locally-minimal reproducer.
+
+:func:`emit_reproducer` serializes the shrunken case as a standard
+:mod:`repro.obs.manifest` run manifest whose experiment is
+``repro.validate.harness:replay_case`` — ``python -m repro replay`` on
+the emitted file re-runs the case bit-identically and verifies the
+digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.validate.workload import TaskSpec, WorkloadSpec
+
+__all__ = ["shrink_workload", "emit_reproducer"]
+
+#: Safety valve: each pass is linear in spec size, and the fix-point
+#: loop converges fast; this only guards against a pathological
+#: predicate that flips answers non-deterministically.
+MAX_ROUNDS = 25
+
+
+def _drop_task(spec: WorkloadSpec, idx: int) -> WorkloadSpec:
+    """Remove task ``idx``, re-indexing signal targets."""
+    tasks: List[TaskSpec] = []
+    for i, tspec in enumerate(spec.tasks):
+        if i == idx:
+            continue
+        events: List[Dict[str, Any]] = []
+        for event in tspec.events:
+            if event["op"] == "signal":
+                target = event["target"]
+                if target == idx:
+                    continue
+                if target > idx:
+                    event = {**event, "target": target - 1}
+            events.append(dict(event))
+        tasks.append(replace(tspec, events=events))
+    return replace(spec, tasks=tasks)
+
+
+def _with_events(spec: WorkloadSpec, idx: int,
+                 events: List[Dict[str, Any]]) -> WorkloadSpec:
+    tasks = list(spec.tasks)
+    tasks[idx] = replace(tasks[idx], events=[dict(e) for e in events])
+    return replace(spec, tasks=tasks)
+
+
+def _single_cpu(spec: WorkloadSpec) -> WorkloadSpec:
+    tasks = [
+        replace(t, pinned_cpu=0 if t.pinned_cpu is not None else None)
+        for t in spec.tasks
+    ]
+    return replace(spec, n_cpus=1, tasks=tasks)
+
+
+def shrink_workload(
+    spec: WorkloadSpec,
+    still_fails: Callable[[WorkloadSpec], bool],
+    *,
+    max_rounds: int = MAX_ROUNDS,
+) -> WorkloadSpec:
+    """Greedily minimize ``spec`` while ``still_fails`` stays true.
+
+    ``still_fails`` must re-run the candidate under the same scheduler
+    (and injected bug, if any) and report whether the original
+    invariant still fires; candidates that raise are treated as not
+    failing (a malformed reduction is not a reproducer).
+    """
+
+    def fails(candidate: WorkloadSpec) -> bool:
+        try:
+            return bool(still_fails(candidate))
+        except Exception:
+            return False
+
+    if not fails(spec):
+        return spec  # not reproducible — nothing to shrink
+
+    current = spec
+    for _ in range(max_rounds):
+        progressed = False
+
+        # Pass 1: drop whole tasks (from the back, so indices stay valid).
+        i = len(current.tasks) - 1
+        while i >= 0 and len(current.tasks) > 1:
+            candidate = _drop_task(current, i)
+            if fails(candidate):
+                current = candidate
+                progressed = True
+            i -= 1
+
+        # Pass 2: truncate event tails (halves, then single events).
+        for idx, tspec in enumerate(current.tasks):
+            events = list(tspec.events)
+            while len(events) > 0:
+                cut = max(1, len(events) // 2)
+                candidate = _with_events(current, idx, events[:-cut])
+                if fails(candidate):
+                    events = events[:-cut]
+                    current = candidate
+                    progressed = True
+                else:
+                    break
+
+        # Pass 3: delete single events anywhere in the script.
+        for idx in range(len(current.tasks)):
+            j = len(current.tasks[idx].events) - 1
+            while j >= 0:
+                events = list(current.tasks[idx].events)
+                del events[j]
+                candidate = _with_events(current, idx, events)
+                if fails(candidate):
+                    current = candidate
+                    progressed = True
+                j -= 1
+
+        # Pass 4: neutralize fields.
+        for idx, tspec in enumerate(current.tasks):
+            simplifications = []
+            if tspec.nice != 0:
+                simplifications.append({"nice": 0})
+            if tspec.pinned_cpu is not None:
+                simplifications.append({"pinned_cpu": None})
+            if tspec.wake_placement:
+                simplifications.append(
+                    {"wake_placement": False, "sleep_vruntime": 0.0})
+            for change in simplifications:
+                tasks = list(current.tasks)
+                tasks[idx] = replace(tasks[idx], **change)
+                candidate = replace(current, tasks=tasks)
+                if fails(candidate):
+                    current = candidate
+                    progressed = True
+        if current.features:
+            candidate = replace(current, features={})
+            if fails(candidate):
+                current = candidate
+                progressed = True
+        if current.n_cpus > 1:
+            candidate = _single_cpu(current)
+            if fails(candidate):
+                current = candidate
+                progressed = True
+
+        if not progressed:
+            break
+    return current
+
+
+def emit_reproducer(spec: WorkloadSpec, scheduler: str,
+                    bug: Optional[str], out_dir: str) -> str:
+    """Write the shrunken case as a replayable run manifest.
+
+    The manifest's experiment is ``repro.validate.harness:replay_case``
+    with the full workload spec in its params, so
+    ``python -m repro replay <path>`` rebuilds and re-runs the exact
+    case and verifies the result digest.
+    """
+    from repro.obs.manifest import RunManifest, result_digest
+    from repro.validate.harness import replay_case
+
+    params: Dict[str, Any] = {"case": spec.to_dict(), "scheduler": scheduler}
+    if bug is not None:
+        params["bug"] = bug
+    outcome = replay_case(params["case"], scheduler, bug=bug)
+    manifest = RunManifest(
+        experiment="repro.validate.harness:replay_case",
+        params=params,
+        seed=spec.seed,
+        kind="run",
+        result_digest=result_digest(outcome),
+    )
+    return manifest.save(out_dir)

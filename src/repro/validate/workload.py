@@ -1,0 +1,267 @@
+"""Randomized scheduler workloads for the invariant fuzzer.
+
+A *workload* is a JSON-serializable specification of a task mix: how
+many CPUs, how long to run, and for each task its nice value, optional
+pinning, how it is spawned (fork vs. Scenario 2 wake placement) and the
+script of userspace actions it performs (compute bursts, nanosleeps,
+pause/signal pairs, POSIX timers, timer-slack changes).  The generator
+draws every choice from :class:`repro.sim.rng.RngStreams`, so a
+workload is a pure function of its seed — the property the shrinker and
+the replayable reproducers rely on.
+
+The specs deliberately stay within the model's legal envelope (no task
+pauses forever unless that is a *legitimate* block; signal targets are
+spawned tasks) so that every invariant violation the harness reports is
+a scheduler bug, not a malformed workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.kernel import actions as act
+from repro.kernel.threads import ComputeBody, CoroutineBody
+from repro.sched.task import Task
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "TaskSpec",
+    "WorkloadSpec",
+    "generate_workload",
+    "build_tasks",
+    "FEATURE_VARIANTS",
+]
+
+MS = 1_000_000.0
+US = 1_000.0
+
+#: Base pid for workload tasks — fixed so traces (and their digests) do
+#: not depend on how many Tasks were created earlier in the process.
+WORKLOAD_PID_BASE = 100
+
+#: Named feature-flag variants the fuzzer samples from (the same knobs
+#: ``repro.sched.features`` models).  ``{}`` is the kernel default.
+FEATURE_VARIANTS: Dict[str, Dict[str, Any]] = {
+    "default": {},
+    "no-gentle-sleepers": {"gentle_fair_sleepers": False},
+    "no-wakeup-preemption": {"wakeup_preemption": False},
+    "min-slice-guard": {"wakeup_min_slice_ns": 100_000.0},
+    "run-to-parity": {"run_to_parity": True},
+    "no-place-lag": {"place_lag": False},
+}
+
+
+@dataclass
+class TaskSpec:
+    """One task of a workload (JSON-serializable)."""
+
+    name: str
+    nice: int = 0
+    #: ``None`` → the load balancer's idlest-CPU fork placement.
+    pinned_cpu: Optional[int] = None
+    #: Spawn through the Scenario 2 wake path (Eq 2.1) instead of fork
+    #: placement, pretending the task slept at ``sleep_vruntime``.
+    wake_placement: bool = False
+    sleep_vruntime: float = 0.0
+    #: ``"script"`` → a CoroutineBody driven by ``events``;
+    #: ``"compute"`` → a pure ComputeBody (optionally finite).
+    kind: str = "script"
+    duration_ns: Optional[float] = None
+    #: Script events, each ``{"op": ..., ...}``; see ``_script_gen``.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "nice": self.nice,
+            "pinned_cpu": self.pinned_cpu,
+            "wake_placement": self.wake_placement,
+            "sleep_vruntime": self.sleep_vruntime,
+            "kind": self.kind,
+            "duration_ns": self.duration_ns,
+            "events": [dict(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaskSpec":
+        return cls(**data)
+
+
+@dataclass
+class WorkloadSpec:
+    """A complete fuzz case: machine shape + task mix + feature flags."""
+
+    seed: int
+    n_cpus: int = 1
+    horizon_ns: float = 10 * MS
+    #: SchedFeatures overrides (empty → defaults).
+    features: Dict[str, Any] = field(default_factory=dict)
+    tasks: List[TaskSpec] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "n_cpus": self.n_cpus,
+            "horizon_ns": self.horizon_ns,
+            "features": dict(self.features),
+            "tasks": [t.to_dict() for t in self.tasks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        tasks = [TaskSpec.from_dict(t) for t in data.get("tasks", [])]
+        return cls(
+            seed=data["seed"],
+            n_cpus=data.get("n_cpus", 1),
+            horizon_ns=data.get("horizon_ns", 10 * MS),
+            features=dict(data.get("features", {})),
+            tasks=tasks,
+        )
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+def generate_workload(
+    seed: int,
+    *,
+    n_cpus: int = 2,
+    max_tasks: int = 6,
+    horizon_ns: Optional[float] = None,
+    feature_variants: bool = True,
+) -> WorkloadSpec:
+    """Draw one random workload from ``seed``.
+
+    The mix covers the regimes the paper's phenomenology depends on:
+    always-runnable hogs (Scenario 1 tick preemption), sleep/wake loops
+    (Scenario 2 placement + Eq 2.2), pause/periodic-timer pairs
+    (Method 2 wakeups), cross-task signals, pinned vs. migratable tasks
+    and nice values across the weight table.
+    """
+    rng = RngStreams(seed=seed)
+    r = rng.stream("workload")
+    n_tasks = r.randint(2, max(2, max_tasks))
+    if horizon_ns is None:
+        horizon_ns = r.uniform(5 * MS, 20 * MS)
+    features: Dict[str, Any] = {}
+    if feature_variants:
+        features = dict(r.choice(sorted(FEATURE_VARIANTS.values(),
+                                        key=repr)))
+
+    tasks: List[TaskSpec] = []
+    for i in range(n_tasks):
+        name = f"t{i}"
+        nice = r.choice([-20, -10, -5, -1, 0, 0, 0, 1, 5, 10, 19])
+        pinned = r.choice([None] * 2 + list(range(n_cpus)))
+        wake_placement = r.random() < 0.25
+        sleep_vruntime = r.uniform(0.0, 20 * MS) if wake_placement else 0.0
+        if r.random() < 0.25:
+            # A pure CPU hog, optionally finite.
+            duration = r.choice([None, r.uniform(1 * MS, horizon_ns)])
+            tasks.append(TaskSpec(
+                name=name, nice=nice, pinned_cpu=pinned,
+                wake_placement=wake_placement,
+                sleep_vruntime=sleep_vruntime,
+                kind="compute", duration_ns=duration,
+            ))
+            continue
+        events = _generate_script(r, i, n_tasks)
+        tasks.append(TaskSpec(
+            name=name, nice=nice, pinned_cpu=pinned,
+            wake_placement=wake_placement, sleep_vruntime=sleep_vruntime,
+            kind="script", events=events,
+        ))
+    return WorkloadSpec(
+        seed=seed, n_cpus=n_cpus, horizon_ns=horizon_ns,
+        features=features, tasks=tasks,
+    )
+
+
+def _generate_script(r, index: int, n_tasks: int) -> List[Dict[str, Any]]:
+    """Random event script for task ``index`` of ``n_tasks``."""
+    events: List[Dict[str, Any]] = []
+    if r.random() < 0.3:
+        events.append({"op": "slack", "ns": r.choice([1.0, 1_000.0, 50_000.0])})
+    timer_armed = False
+    for _ in range(r.randint(2, 8)):
+        roll = r.random()
+        if roll < 0.40:
+            events.append({"op": "compute",
+                           "ns": round(r.uniform(20 * US, 2 * MS), 1)})
+        elif roll < 0.65:
+            events.append({"op": "sleep",
+                           "ns": round(r.uniform(5 * US, 1 * MS), 1)})
+        elif roll < 0.75 and not timer_armed:
+            events.append({
+                "op": "timer",
+                "interval_ns": round(r.uniform(50 * US, 2 * MS), 1),
+                "first_ns": round(r.uniform(0.0, 500 * US), 1),
+            })
+            timer_armed = True
+        elif roll < 0.85 and timer_armed:
+            # A pause is only legal noise when a timer can wake it.
+            events.append({"op": "pause"})
+        elif roll < 0.93 and n_tasks > 1:
+            target = r.randrange(n_tasks - 1)
+            if target >= index:
+                target += 1
+            events.append({"op": "signal", "target": target})
+        else:
+            events.append({"op": "compute",
+                           "ns": round(r.uniform(20 * US, 500 * US), 1)})
+    if timer_armed and r.random() < 0.5:
+        events.append({"op": "timer_cancel"})
+        timer_armed = False
+    if r.random() < 0.5:
+        # Keep running until the horizon so the run stays busy.
+        events.append({"op": "spin", "ns": round(r.uniform(200 * US, 1 * MS), 1)})
+    return events
+
+
+# ----------------------------------------------------------------------
+# Materialization
+# ----------------------------------------------------------------------
+def _script_gen(events: List[Dict[str, Any]],
+                pids: List[int]) -> Generator[act.Action, Any, None]:
+    """Translate a script into the kernel's action protocol."""
+    for event in events:
+        op = event["op"]
+        if op == "compute":
+            yield act.Compute(event["ns"])
+        elif op == "sleep":
+            yield act.Nanosleep(event["ns"])
+        elif op == "pause":
+            yield act.Pause()
+        elif op == "timer":
+            yield act.TimerCreate(event["interval_ns"],
+                                  first_after_ns=event.get("first_ns"))
+        elif op == "timer_cancel":
+            yield act.TimerCancel()
+        elif op == "signal":
+            yield act.SignalTask(pids[event["target"]])
+        elif op == "slack":
+            yield act.SetTimerSlack(event["ns"])
+        elif op == "spin":
+            while True:
+                yield act.Compute(event["ns"])
+        else:
+            raise ValueError(f"unknown workload op {op!r}")
+
+
+def build_tasks(spec: WorkloadSpec) -> List[Tuple[Task, TaskSpec]]:
+    """Materialize Task objects (with deterministic pids) for ``spec``."""
+    pids = [WORKLOAD_PID_BASE + i for i in range(len(spec.tasks))]
+    out: List[Tuple[Task, TaskSpec]] = []
+    for i, tspec in enumerate(spec.tasks):
+        if tspec.kind == "compute":
+            body = ComputeBody(tspec.duration_ns)
+        elif tspec.kind == "script":
+            body = CoroutineBody(_script_gen(tspec.events, pids))
+        else:
+            raise ValueError(f"unknown task kind {tspec.kind!r}")
+        task = Task(tspec.name, body=body, nice=tspec.nice, pid=pids[i])
+        if tspec.pinned_cpu is not None:
+            task.pin_to(min(tspec.pinned_cpu, spec.n_cpus - 1))
+        out.append((task, tspec))
+    return out

@@ -1,0 +1,36 @@
+"""Shared pytest configuration: Hypothesis profiles.
+
+Select with ``HYPOTHESIS_PROFILE=ci|dev|thorough`` (default: dev).
+
+* ``ci`` — derandomized so CI failures reproduce locally, and
+  ``deadline=None`` because shared runners have noisy clocks;
+* ``dev`` — the fast default for the edit-test loop;
+* ``thorough`` — a deep run for hunting rare cases; note per-test
+  ``@settings(max_examples=...)`` still wins where present.
+"""
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        print_blob=True,
+    )
+    settings.register_profile(
+        "dev",
+        deadline=None,
+    )
+    settings.register_profile(
+        "thorough",
+        deadline=None,
+        max_examples=500,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

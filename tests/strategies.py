@@ -1,0 +1,41 @@
+"""Shared Hypothesis strategies for scheduler property tests.
+
+One place to define "a plausible task mix" so every property file
+exercises the same distribution — and widening it (e.g. to the full
+nice range) widens every test at once.
+"""
+
+from hypothesis import strategies as st
+
+MS = 1_000_000
+
+#: Moderate nice values: the range real workloads live in.  Lists of
+#: these make multi-task fairness mixes.
+nice_moderate = st.integers(min_value=-10, max_value=10)
+nice_values = st.lists(nice_moderate, min_size=2, max_size=5)
+
+#: The full kernel range, including the ±extremes whose ~88× weight
+#: ratio stresses every vruntime formula.
+nice_full_range = st.integers(min_value=-20, max_value=19)
+nice_extreme = st.sampled_from([-20, -19, 18, 19])
+
+#: Root seeds for deterministic sub-generators (RngStreams etc.).
+seeds = st.integers(min_value=0, max_value=2**16)
+
+#: Attacker measurement padding in µs (the §4.1 budget knob).
+attacker_padding_us = st.integers(min_value=6, max_value=60)
+
+schedulers = st.sampled_from(["cfs", "eevdf"])
+
+#: Positive execution charges at tick-ish granularity (ns).
+charge_ns = st.floats(min_value=1_000.0, max_value=4 * MS,
+                      allow_nan=False, allow_infinity=False)
+
+#: One runqueue operation for stateful wake/sleep properties; the
+#: interpretation (which task, how much charge) is up to the test.
+rq_ops = st.lists(
+    st.tuples(st.sampled_from(["wake", "sleep", "charge", "pick"]),
+              st.integers(min_value=0, max_value=7),
+              charge_ns),
+    min_size=1, max_size=40,
+)

@@ -9,9 +9,10 @@ measured consecutive-preemption count stays within a band of the
 from hypothesis import given, settings, strategies as st
 
 from repro.experiments.preemption_count import run_budget_measurement
+from tests.strategies import attacker_padding_us
 
 
-@given(st.integers(min_value=6, max_value=60))
+@given(attacker_padding_us)
 @settings(max_examples=6, deadline=None)
 def test_budget_model_holds_across_attacker_lengths(extra_us):
     run = run_budget_measurement(

@@ -100,3 +100,33 @@ class TestCommands:
         manifest = next(tmp_path.glob("run-resolution-*.json"))
         assert main(["--no-manifest", "replay", str(manifest)]) == 0
         assert "bit-identically" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_clean_fuzz_run_exits_zero(self, capsys):
+        assert main(["--no-manifest", "--jobs", "1", "validate",
+                     "--cases", "5", "--seed", "1", "--sched", "cfs"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        assert "campaign digest" in out
+
+    def test_seed_accepted_before_or_after_verb(self):
+        parser = build_parser()
+        assert parser.parse_args(["validate", "--seed", "5"]).seed == 5
+        assert parser.parse_args(["--seed", "3", "validate"]).seed == 3
+
+    def test_injected_bug_caught_exits_zero(self, capsys, tmp_path):
+        rc = main(["--jobs", "1", "--manifest-dir", str(tmp_path),
+                   "validate", "--cases", "8", "--seed", "7",
+                   "--sched", "cfs", "--inject-bug", "skip-eq22-slack"])
+        out = capsys.readouterr().out
+        assert rc == 0  # bug caught is the expected outcome
+        assert "caught" in out
+        # Shrunk reproducers landed in the manifest dir and replay.
+        reproducer = next(tmp_path.glob("run-*replay_case*.json"))
+        assert main(["--no-manifest", "replay", str(reproducer)]) == 0
+
+    def test_unknown_bug_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["validate", "--inject-bug", "no-such-bug"])
+        assert "invalid choice" in capsys.readouterr().err

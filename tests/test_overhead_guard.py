@@ -1,0 +1,112 @@
+"""The CI overhead guard must degrade gracefully, not crash.
+
+Baseline trouble (missing ref, shallow clone, unrunnable baseline tree)
+is harness trouble → SKIP with the how-to-regenerate recipe printed.
+The *current* tree failing to run the workload is a real regression →
+FAIL.  Both paths used to surface as an unhandled traceback.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+GUARD_PATH = (Path(__file__).resolve().parent.parent
+              / "benchmarks" / "overhead_guard.py")
+
+
+@pytest.fixture()
+def guard(monkeypatch):
+    spec = importlib.util.spec_from_file_location("overhead_guard",
+                                                  GUARD_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_main(guard, monkeypatch, argv):
+    monkeypatch.setattr(sys, "argv", ["overhead_guard.py"] + argv)
+    return guard.main()
+
+
+def test_unresolvable_ref_skips_with_recipe(guard, monkeypatch, capsys):
+    rc = _run_main(guard, monkeypatch,
+                   ["--baseline-ref", "no-such-ref-anywhere"])
+    out = capsys.readouterr()
+    assert rc == 0
+    assert "SKIP" in out.out
+    assert "git fetch origin main" in out.err  # actionable, not a traceback
+
+
+def test_baseline_child_failure_skips_with_recipe(guard, monkeypatch,
+                                                  capsys, tmp_path):
+    monkeypatch.setattr(guard, "_prepare_baseline", lambda ref, dest: True)
+    monkeypatch.setattr(guard, "_remove_baseline", lambda dest: None)
+
+    def fake_time_tree(tree, *, metrics=False):
+        if tree != guard.REPO:
+            raise guard.TreeTimingError(tree, "ModuleNotFoundError: repro")
+        return 1.0
+
+    monkeypatch.setattr(guard, "_time_tree", fake_time_tree)
+    rc = _run_main(guard, monkeypatch, ["--baseline-ref", "HEAD"])
+    out = capsys.readouterr()
+    assert rc == 0
+    assert "baseline run failed" in out.err
+    assert "fetch-depth: 0" in out.err
+    assert "SKIP" in out.out
+
+
+def test_current_tree_failure_fails_loudly(guard, monkeypatch, capsys):
+    monkeypatch.setattr(guard, "_prepare_baseline", lambda ref, dest: True)
+    monkeypatch.setattr(guard, "_remove_baseline", lambda dest: None)
+
+    def fake_time_tree(tree, *, metrics=False):
+        if tree == guard.REPO:
+            raise guard.TreeTimingError(tree, "ImportError in current tree")
+        return 1.0
+
+    monkeypatch.setattr(guard, "_time_tree", fake_time_tree)
+    rc = _run_main(guard, monkeypatch, ["--baseline-ref", "HEAD"])
+    out = capsys.readouterr()
+    assert rc == 1
+    assert "current tree cannot run the guard workload" in out.err
+
+
+def test_regression_beyond_threshold_fails(guard, monkeypatch, capsys):
+    monkeypatch.setattr(guard, "_prepare_baseline", lambda ref, dest: True)
+    monkeypatch.setattr(guard, "_remove_baseline", lambda dest: None)
+    times = {"base": 1.0, "curr": 1.5}
+
+    def fake_time_tree(tree, *, metrics=False):
+        return times["curr"] if tree == guard.REPO else times["base"]
+
+    monkeypatch.setattr(guard, "_time_tree", fake_time_tree)
+    rc = _run_main(guard, monkeypatch,
+                   ["--baseline-ref", "HEAD", "--rounds", "1"])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_within_threshold_passes(guard, monkeypatch, capsys):
+    monkeypatch.setattr(guard, "_prepare_baseline", lambda ref, dest: True)
+    monkeypatch.setattr(guard, "_remove_baseline", lambda dest: None)
+    monkeypatch.setattr(guard, "_time_tree",
+                        lambda tree, *, metrics=False: 1.0)
+    rc = _run_main(guard, monkeypatch,
+                   ["--baseline-ref", "HEAD", "--rounds", "1"])
+    assert rc == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_garbled_child_output_is_a_timing_error(guard, monkeypatch):
+    class FakeProc:
+        returncode = 0
+        stdout = "not-a-number\n"
+        stderr = ""
+
+    monkeypatch.setattr(guard.subprocess, "run",
+                        lambda *a, **k: FakeProc())
+    with pytest.raises(guard.TreeTimingError, match="seconds value"):
+        guard._time_tree(guard.REPO)

@@ -1,0 +1,179 @@
+"""Runqueue/policy edge-case properties (shared strategies).
+
+Direct property tests at the policy layer — no kernel, no bodies —
+covering the corners the system-level properties rarely reach: empty
+and single-task runqueues, the ±20 nice extremes (an ~88× weight
+ratio), and EEVDF eligibility under adversarial wake/sleep sequences.
+"""
+
+from hypothesis import given, settings
+
+from repro.kernel.threads import ComputeBody
+from repro.sched.cfs import CfsScheduler
+from repro.sched.eevdf import EevdfScheduler
+from repro.sched.params import SchedParams
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task, TaskState, nice_to_weight
+from repro.sim.rng import RngStreams
+from tests.strategies import (
+    MS,
+    charge_ns,
+    nice_extreme,
+    nice_full_range,
+    rq_ops,
+    schedulers,
+    seeds,
+)
+
+POLICIES = {"cfs": CfsScheduler, "eevdf": EevdfScheduler}
+
+
+def make_policy(name):
+    return POLICIES[name](SchedParams.for_cores(16))
+
+
+def make_task(name, vruntime=0.0, nice=0):
+    task = Task(name, body=ComputeBody(), nice=nice)
+    task.vruntime = vruntime
+    task.last_sleep_vruntime = vruntime
+    return task
+
+
+class TestEmptyAndSingle:
+    @given(schedulers)
+    @settings(max_examples=4, deadline=None)
+    def test_pick_next_on_empty_queue_is_none(self, sched):
+        policy = make_policy(sched)
+        rq = RunQueue(0)
+        assert policy.pick_next(rq) is None
+        # ... even with a current task but nothing queued.
+        rq.current = make_task("curr", vruntime=100.0)
+        assert policy.pick_next(rq) is None
+
+    @given(schedulers, nice_full_range, charge_ns)
+    @settings(max_examples=20, deadline=None)
+    def test_single_queued_task_is_always_picked(self, sched, nice, vr):
+        """With one candidate there is no choice: any vruntime, any
+        nice, eligible or not, it must be picked."""
+        policy = make_policy(sched)
+        rq = RunQueue(0)
+        task = make_task("only", vruntime=vr, nice=nice)
+        if sched == "eevdf":
+            policy.renew_deadline(task)
+        rq.add(task)
+        assert policy.pick_next(rq) is task
+
+    @given(schedulers)
+    @settings(max_examples=4, deadline=None)
+    def test_charge_on_single_task_keeps_aggregates_sane(self, sched):
+        policy = make_policy(sched)
+        rq = RunQueue(0)
+        task = make_task("only")
+        rq.add(task)
+        rq.current, rq.queued = task, []
+        before = rq.min_vruntime
+        policy.charge(rq, task, 2 * MS)
+        assert task.vruntime == task.vruntime_delta(2 * MS)
+        assert rq.min_vruntime >= before
+
+
+class TestNiceExtremes:
+    @given(nice_extreme, charge_ns)
+    @settings(max_examples=20, deadline=None)
+    def test_vruntime_rate_matches_weight_table(self, nice, exec_ns):
+        """Δτ = Δt · 1024/weight exactly, at both ends of the table."""
+        policy = make_policy("cfs")
+        rq = RunQueue(0)
+        task = make_task("t", nice=nice)
+        rq.add(task)
+        policy.charge(rq, task, exec_ns)
+        expected = exec_ns * 1024 / nice_to_weight(nice)
+        assert abs(task.vruntime - expected) < 1e-6 * max(1.0, expected)
+
+    @given(charge_ns)
+    @settings(max_examples=15, deadline=None)
+    def test_nice_spread_ratio_is_weight_ratio(self, exec_ns):
+        """Charging nice −20 and nice +19 the same wall time moves their
+        vruntimes in exact inverse proportion to the ~5900× weight gap."""
+        policy = make_policy("cfs")
+        rq = RunQueue(0)
+        heavy = make_task("heavy", nice=-20)
+        light = make_task("light", nice=19)
+        rq.add(heavy)
+        rq.add(light)
+        policy.charge(rq, heavy, exec_ns)
+        policy.charge(rq, light, exec_ns)
+        ratio = light.vruntime / heavy.vruntime
+        expected = nice_to_weight(-20) / nice_to_weight(19)
+        assert abs(ratio - expected) / expected < 1e-9
+
+    @given(nice_extreme)
+    @settings(max_examples=8, deadline=None)
+    def test_eevdf_deadline_scales_with_weight(self, nice):
+        """A heavy task's virtual slice (deadline − vruntime) is small;
+        a light task's is large — weighted base slice semantics."""
+        policy = make_policy("eevdf")
+        task = make_task("t", nice=nice)
+        policy.renew_deadline(task)
+        vslice = task.deadline - task.vruntime
+        expected = policy.params.base_slice * 1024 / nice_to_weight(nice)
+        assert abs(vslice - expected) < 1e-6 * max(1.0, expected)
+
+
+class TestEevdfEligibilityUnderChurn:
+    @given(seeds, rq_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_picked_task_is_eligible_when_any_is(self, seed, ops):
+        """Drive a runqueue through a random wake/sleep/charge sequence;
+        whenever EEVDF picks while at least one queued task is eligible,
+        the picked task must itself be eligible (never overdrawn past
+        the load-weighted average)."""
+        policy = make_policy("eevdf")
+        rq = RunQueue(0)
+        rng = RngStreams(seed=seed).stream("rq-churn")
+        tasks = [make_task(f"t{i}", nice=rng.randint(-5, 5))
+                 for i in range(8)]
+        for task in tasks:
+            policy.renew_deadline(task)
+        sleeping = set(range(8))
+        for op, idx, amount in ops:
+            task = tasks[idx]
+            if op == "wake" and idx in sleeping:
+                policy.place_waking(rq, task)
+                rq.add(task)
+                sleeping.discard(idx)
+            elif op == "sleep" and idx not in sleeping:
+                rq.remove(task)
+                policy.on_dequeue_sleep(rq, task)
+                task.state = TaskState.SLEEPING
+                sleeping.add(idx)
+            elif op == "charge" and idx not in sleeping:
+                policy.charge(rq, task, amount)
+            elif op == "pick":
+                picked = policy.pick_next(rq)
+                if picked is None:
+                    assert not rq.queued
+                    continue
+                if any(policy.is_eligible(rq, t) for t in rq.queued):
+                    assert policy.is_eligible(rq, picked)
+                assert picked in rq.queued
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_wake_placement_never_rewinds_sleep_point(self, seed):
+        """Both policies: a waking task resumes at or after the vruntime
+        it slept at (the right-hand clamp of Eq 2.1 and its EEVDF
+        analogue) — the attacker's budget is bounded, never negative."""
+        rng = RngStreams(seed=seed).stream("placement")
+        for sched in ("cfs", "eevdf"):
+            policy = make_policy(sched)
+            rq = RunQueue(0)
+            peer = make_task("peer", vruntime=rng.uniform(0, 50 * MS))
+            rq.add(peer)
+            rq.update_min_vruntime()
+            sleeper = make_task("sleeper",
+                                vruntime=rng.uniform(0, 50 * MS))
+            sleeper.last_sleep_vruntime = sleeper.vruntime
+            slept_at = sleeper.vruntime
+            policy.place_waking(rq, sleeper)
+            assert sleeper.vruntime >= slept_at - 1e-9

@@ -10,12 +10,7 @@ from hypothesis import given, settings, strategies as st
 from repro.experiments.setup import build_env
 from repro.kernel.threads import ComputeBody
 from repro.sched.task import Task, TaskState
-
-MS = 1_000_000
-
-nice_values = st.lists(
-    st.integers(min_value=-10, max_value=10), min_size=2, max_size=5
-)
+from tests.strategies import MS, nice_values
 
 
 class TestFairness:

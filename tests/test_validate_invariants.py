@@ -1,0 +1,260 @@
+"""Each validate oracle must detect a synthetic violation.
+
+An oracle that never fires is indistinguishable from a working
+scheduler — so every invariant gets a deliberately broken input here
+and must report, plus one clean run that must stay silent.
+"""
+
+import pytest
+
+from repro.kernel.threads import ComputeBody
+from repro.kernel.tracing import KernelTracer, SwitchRecord, WakeupRecord
+from repro.sched.cfs import CfsScheduler
+from repro.sched.eevdf import EevdfScheduler
+from repro.sched.params import SchedParams
+from repro.sched.runqueue import RunQueue
+from repro.sched.task import Task, TaskState
+from repro.validate.harness import run_case
+from repro.validate.invariants import (
+    InvariantMonitor,
+    PolicyProbe,
+    check_no_lost_wakeups,
+    check_runtime_conservation,
+    check_switch_stream,
+    check_vruntime_monotonic,
+)
+from repro.validate.workload import generate_workload
+
+PARAMS = SchedParams.for_cores(16)
+
+
+def make_task(name, vruntime=0.0, nice=0, deadline=0.0):
+    task = Task(name, body=ComputeBody(), nice=nice)
+    task.vruntime = vruntime
+    task.last_sleep_vruntime = vruntime
+    task.deadline = deadline
+    return task
+
+
+def probed(policy_cls, **kwargs):
+    monitor = InvariantMonitor()
+    return PolicyProbe(policy_cls(PARAMS, **kwargs), monitor), monitor
+
+
+# ----------------------------------------------------------------------
+# Decision-level oracles (PolicyProbe)
+# ----------------------------------------------------------------------
+class _NoClampCfs(CfsScheduler):
+    def place_waking(self, rq, task):
+        task.vruntime = rq.min_vruntime  # forgets S_slack and τ_sleep
+
+
+class _StaleDeadlineEevdf(EevdfScheduler):
+    def place_waking(self, rq, task):
+        super().place_waking(rq, task)
+        task.deadline = task.vruntime  # forgets the vslice renewal
+
+
+class _PickCurrentCfs(CfsScheduler):
+    def pick_next(self, rq):
+        return rq.current  # returns a task that is not queued
+
+
+class _ForgetfulSleepCfs(CfsScheduler):
+    def on_dequeue_sleep(self, rq, task):
+        pass  # drops the Eq 2.1 right-hand clamp state
+
+
+def test_eq21_placement_violation_detected():
+    probe, monitor = probed(_NoClampCfs)
+    rq = RunQueue(0)
+    rq.min_vruntime = 10_000_000.0
+    task = make_task("w", vruntime=500.0)
+    probe.place_waking(rq, task)
+    assert "eq2.1-placement" in monitor.names()
+
+
+def test_eq21_clean_placement_is_silent():
+    probe, monitor = probed(CfsScheduler)
+    rq = RunQueue(0)
+    rq.min_vruntime = 10_000_000.0
+    probe.place_waking(rq, make_task("w", vruntime=500.0))
+    assert monitor.ok
+
+
+def test_eevdf_stale_deadline_detected():
+    probe, monitor = probed(_StaleDeadlineEevdf)
+    rq = RunQueue(0)
+    rq.add(make_task("peer", vruntime=5_000_000.0))
+    probe.place_waking(rq, make_task("w", vruntime=100.0))
+    assert "eevdf-deadline" in monitor.names()
+
+
+def test_placement_rewinding_sleep_detected():
+    class _RewindCfs(CfsScheduler):
+        def place_waking(self, rq, task):
+            task.vruntime = 0.0
+
+    probe, monitor = probed(_RewindCfs)
+    rq = RunQueue(0)
+    probe.place_waking(rq, make_task("w", vruntime=9_000.0))
+    assert "placement-rewinds-sleep" in monitor.names()
+
+
+def test_eq22_inconsistency_detected():
+    from repro.validate.harness import _CfsSkipSlack
+
+    probe, monitor = probed(_CfsSkipSlack)
+    rq = RunQueue(0)
+    # Positive lag but below S_preempt: reference denies, bug grants.
+    curr = make_task("curr", vruntime=PARAMS.s_preempt / 2)
+    wakee = make_task("wakee", vruntime=0.0)
+    assert probe.wants_wakeup_preempt(rq, curr, wakee) is True
+    assert "eq2.2-consistency" in monitor.names()
+
+
+def test_pick_not_queued_detected():
+    probe, monitor = probed(_PickCurrentCfs)
+    rq = RunQueue(0)
+    rq.current = make_task("curr")
+    rq.add(make_task("queued"))
+    probe.pick_next(rq)
+    assert "pick-not-queued" in monitor.names()
+
+
+def test_cfs_greedy_pick_detected():
+    from repro.validate.harness import _CfsGreedyPick
+
+    probe, monitor = probed(_CfsGreedyPick)
+    rq = RunQueue(0)
+    rq.add(make_task("small", vruntime=100.0))
+    rq.add(make_task("big", vruntime=900.0))
+    assert probe.pick_next(rq).name == "big"
+    assert "cfs-pick-leftmost" in monitor.names()
+
+
+def test_eevdf_ineligible_pick_detected():
+    from repro.validate.harness import _EevdfGreedyPick
+
+    probe, monitor = probed(_EevdfGreedyPick)
+    rq = RunQueue(0)
+    # `late` is far past the average (ineligible) but holds the earliest
+    # deadline; `early` is eligible.
+    rq.add(make_task("early", vruntime=100.0, deadline=9_000.0))
+    rq.add(make_task("late", vruntime=50_000.0, deadline=1_000.0))
+    assert probe.pick_next(rq).name == "late"
+    assert "eevdf-eligibility" in monitor.names()
+
+
+def test_forgotten_sleep_vruntime_detected():
+    probe, monitor = probed(_ForgetfulSleepCfs)
+    rq = RunQueue(0)
+    task = make_task("t", vruntime=7_000.0)
+    task.last_sleep_vruntime = 0.0
+    probe.on_dequeue_sleep(rq, task)
+    assert "sleep-vruntime-recorded" in monitor.names()
+
+
+def test_min_vruntime_regression_detected():
+    monitor = InvariantMonitor()
+    rq = RunQueue(0)
+    rq.min_vruntime = 5_000.0
+    monitor.check_min_vruntime(rq, now=1.0)
+    rq.min_vruntime = 4_000.0  # regressed
+    monitor.check_min_vruntime(rq, now=2.0)
+    assert "min-vruntime-monotonic" in monitor.names()
+
+
+# ----------------------------------------------------------------------
+# Post-hoc trace oracles
+# ----------------------------------------------------------------------
+def test_vruntime_regression_in_trace_detected():
+    tracer = KernelTracer(sample_vruntime=True)
+    tracer.record_vruntime(1.0, 100, 5_000.0)
+    tracer.record_vruntime(2.0, 100, 4_000.0)  # regressed
+    violations = check_vruntime_monotonic(tracer)
+    assert [v.invariant for v in violations] == ["vruntime-monotonic"]
+
+
+def test_switch_stream_continuity_break_detected():
+    tracer = KernelTracer()
+    tracer.record_switch(SwitchRecord(1.0, 0, None, 100, "tick"))
+    # Switches out pid 101, but pid 100 was the one switched in.
+    tracer.record_switch(SwitchRecord(2.0, 0, 101, 102, "tick"))
+    names = {v.invariant for v in check_switch_stream(tracer)}
+    assert "switch-stream-continuity" in names
+
+
+def test_dual_occupancy_in_trace_detected():
+    tracer = KernelTracer()
+    tracer.record_switch(SwitchRecord(1.0, 0, None, 100, "tick"))
+    tracer.record_switch(SwitchRecord(2.0, 1, None, 100, "tick"))
+    names = {v.invariant for v in check_switch_stream(tracer)}
+    assert "single-cpu-occupancy" in names
+
+
+def test_lost_wakeup_detected():
+    tracer = KernelTracer()
+    stuck = make_task("stuck")
+    stuck.state = TaskState.RUNNABLE  # runnable with no pending event
+    violations = check_no_lost_wakeups(tracer, [stuck], heap_drained=True)
+    assert [v.invariant for v in violations] == ["no-lost-wakeups"]
+
+
+def test_woken_but_never_run_detected():
+    tracer = KernelTracer()
+    ghost = make_task("ghost")
+    ghost.state = TaskState.SLEEPING
+    tracer.record_wakeup(WakeupRecord(5.0, 0, ghost.pid, 0.0, None, 0.0,
+                                      preempted=False))
+    violations = check_no_lost_wakeups(tracer, [ghost], heap_drained=True)
+    assert [v.invariant for v in violations] == ["no-lost-wakeups"]
+
+
+def test_runtime_conservation_task_mismatch_detected():
+    monitor = InvariantMonitor()
+    task = make_task("t")
+    task.sum_exec_runtime = 10_000.0
+    monitor.charged_per_task[task.pid] = 7_000.0  # lost 3 µs somewhere
+    violations = check_runtime_conservation(monitor, [task], {}, 0.0)
+    assert [v.invariant for v in violations] == ["runtime-conservation"]
+
+
+def test_runtime_conservation_double_charge_detected():
+    monitor = InvariantMonitor()
+    monitor.charged_per_cpu[0] = 20_000.0
+    violations = check_runtime_conservation(
+        monitor, [], {0: 15_000.0}, 0.0)
+    assert [v.invariant for v in violations] == ["runtime-conservation"]
+
+
+def test_runtime_conservation_respects_preemption_slack():
+    """A rewind observed by the StepProbe is credited back — the
+    legitimate interrupt-boundary overshoot must not fire the oracle."""
+    monitor = InvariantMonitor()
+    monitor.charged_per_cpu[0] = 20_000.0
+    monitor.accounting_slack[0] = 6_000.0
+    assert check_runtime_conservation(monitor, [], {0: 15_000.0}, 0.0) == []
+
+
+# ----------------------------------------------------------------------
+# End-to-end: clean runs stay clean, injected bugs are caught
+# ----------------------------------------------------------------------
+def test_clean_case_has_no_violations():
+    spec = generate_workload(0, n_cpus=2)
+    for scheduler in ("cfs", "eevdf"):
+        outcome = run_case(spec, scheduler)
+        assert outcome.ok, outcome.violations
+
+
+@pytest.mark.parametrize("bug,invariant", [
+    ("skip-eq22-slack", "eq2.2-consistency"),
+    ("min-vruntime-regress", "min-vruntime-monotonic"),
+    ("greedy-pick", "cfs-pick-leftmost"),
+])
+def test_injected_bug_caught_by_expected_invariant(bug, invariant):
+    caught = set()
+    for seed in range(12):
+        outcome = run_case(generate_workload(seed, n_cpus=2), "cfs", bug=bug)
+        caught.update(outcome.invariants)
+    assert invariant in caught
