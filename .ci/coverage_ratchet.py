@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Coverage ratchet for the soft-gated surface (repro.sched + repro.kernel).
+
+The last measured line coverage is persisted in
+``.ci/coverage-baseline.txt``; CI fails when a change drops coverage
+more than ``MAX_DROP`` points below that baseline, so erosion can't
+creep in half a point at a time.  When coverage improves, ratchet the
+baseline up in the same commit (the script prints the value to write).
+
+Usage: ``python .ci/coverage_ratchet.py [coverage.xml]``
+"""
+
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+#: Maximum tolerated drop (in percentage points) below the recorded
+#: baseline before the gate fails.
+MAX_DROP = 0.5
+
+
+def main(argv):
+    xml_path = argv[1] if len(argv) > 1 else "coverage.xml"
+    baseline_path = Path(__file__).with_name("coverage-baseline.txt")
+    baseline = float(baseline_path.read_text().split()[0])
+    rate = 100 * float(ET.parse(xml_path).getroot().get("line-rate"))
+    floor = baseline - MAX_DROP
+    print(f"sched+kernel line coverage: {rate:.1f}% "
+          f"(baseline {baseline:.1f}%, ratchet floor {floor:.1f}%)")
+    if rate < floor:
+        print(f"::error::coverage {rate:.1f}% dropped more than "
+              f"{MAX_DROP} points below the recorded baseline "
+              f"{baseline:.1f}%. Add tests for the new code, or lower "
+              f".ci/coverage-baseline.txt in this change if the drop "
+              f"is genuinely justified.")
+        return 1
+    if rate > baseline + MAX_DROP:
+        print(f"::notice::coverage improved to {rate:.1f}%; ratchet the "
+              f"baseline by writing {rate:.1f} to "
+              f".ci/coverage-baseline.txt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

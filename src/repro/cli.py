@@ -265,12 +265,20 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         out_dir=out_dir,
         max_tasks=args.max_tasks,
+        profile=args.profile,
+        differential=args.differential,
+        uarch_cases=args.uarch_cases,
     )
     total = args.cases * len(report.schedulers)
     print(f"{total} cases on {'/'.join(report.schedulers)} "
-          f"({args.cpus} CPUs, seed {args.seed}): "
+          f"({args.cpus} CPUs, seed {args.seed}, "
+          f"profile {args.profile}): "
           f"{report.n_switches} switches, {report.n_wakeups} wakeups, "
-          f"{report.n_preempt_grants} wakeup preemptions")
+          f"{report.n_preempt_grants} wakeup preemptions, "
+          f"{report.n_migrations} migrations")
+    if args.uarch_cases:
+        print(f"plus {args.uarch_cases} scripted cache/TLB differential "
+              "case(s)")
     print(f"campaign digest: {report.digest[:16]}…")
     if report.ok:
         if args.inject_bug:
@@ -287,6 +295,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         if failure.reproducer_path:
             print(f"    reproducer: {failure.reproducer_path} "
                   "(re-run with `python -m repro replay`)")
+        for line in failure.differential:
+            print(f"    differential: {line}")
     if args.inject_bug:
         print(f"injected bug {args.inject_bug!r} caught, as expected")
         return 0
@@ -421,6 +431,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-bug", choices=_bugs, default=None,
                    help="plant a known scheduler bug to demonstrate the "
                         "oracles catch it (exit 0 iff caught)")
+    p.add_argument("--profile", choices=("mixed", "imbalance", "classic"),
+                   default="mixed",
+                   help="workload family: 'imbalance' forces cross-CPU "
+                        "migration mixes, 'classic' is the original "
+                        "single-queue-heavy diet, 'mixed' draws per seed "
+                        "(default)")
+    p.add_argument("--differential", action="store_true",
+                   help="re-run every failing seed across the CFS/EEVDF "
+                        "feature grid and print the divergence summary")
+    p.add_argument("--uarch-cases", type=int, default=0, metavar="N",
+                   help="append N scripted cache/TLB differential cases "
+                        "(machine vs brute-force reference model)")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip minimizing failing cases")
     # Accept the global --seed/--jobs after the verb too (SUPPRESS keeps

@@ -43,6 +43,7 @@ from repro.kernel.threads import (
 from repro.kernel.tracing import (
     ExitToUserRecord,
     KernelTracer,
+    MigrationRecord,
     SwitchRecord,
     WakeupRecord,
 )
@@ -268,7 +269,8 @@ class Kernel:
         self.config = config or KernelConfig()
         self.costs = CostModel(self.rng, cost_params or CostParams())
         self.cpus = [_CpuState(RunQueue(c)) for c in range(machine.n_cores)]
-        self.balancer = LoadBalancer([st.rq for st in self.cpus])
+        self.balancer = LoadBalancer([st.rq for st in self.cpus],
+                                     policy=policy)
         self.tasks: List[Task] = []
         # Observability: instruments are bound once here; with the
         # default (disabled) registry they are shared no-op singletons,
@@ -295,7 +297,9 @@ class Kernel:
         if self._tracing:
             for c in range(machine.n_cores):
                 self._trace.process_name(c, f"cpu{c}")
+        self._balance_armed = False
         if self.config.enable_load_balancer and machine.n_cores > 1:
+            self._balance_armed = True
             self.sim.call_after(self.config.balance_interval, self._balance_tick,
                                label="balance")
 
@@ -339,6 +343,14 @@ class Kernel:
             self.policy.place_initial(st.rq, task)
         st.rq.add(task)
         self.tasks.append(task)
+        # The balance chain stops itself once every known task has
+        # exited; a spawn arriving later (staggered fork bursts) must
+        # re-arm it or the rest of the run goes unbalanced.
+        if (self.config.enable_load_balancer and len(self.cpus) > 1
+                and not self._balance_armed):
+            self._balance_armed = True
+            self.sim.call_after(self.config.balance_interval,
+                               self._balance_tick, label="balance")
         self._kick(cpu)
         return task
 
@@ -793,10 +805,25 @@ class Kernel:
     # Load balancing
     # ------------------------------------------------------------------
     def _balance_tick(self) -> None:
-        migrations = self.balancer.balance(self.sim.now)
+        now = self.sim.now
+        # Settle every CPU's accounting before moving anything: the
+        # renormalization rebases the task against min/avg vruntime
+        # baselines, which are stale until the running tasks are
+        # charged up to `now` (update_curr before detach_task).
+        for cpu in range(len(self.cpus)):
+            self._charge_upto(cpu, now)
+        migrations = self.balancer.balance(now)
         for migration in migrations:
+            self.tracer.record_migration(MigrationRecord(
+                migration.time, migration.src_cpu, migration.dst_cpu,
+                migration.task.pid,
+                vruntime_before=migration.vruntime_before,
+                vruntime_after=migration.vruntime_after,
+            ))
             self._kick(migration.dst_cpu)
         # Keep balancing only while there is anything left to schedule.
         if any(t.state is not TaskState.EXITED for t in self.tasks):
             self.sim.call_after(self.config.balance_interval, self._balance_tick,
                                label="balance")
+        else:
+            self._balance_armed = False

@@ -60,6 +60,18 @@ class WakeupRecord:
 
 
 @dataclass(frozen=True)
+class MigrationRecord:
+    """The load balancer moved a task to another CPU (sched_migrate_task)."""
+
+    time: float
+    src_cpu: int
+    dst_cpu: int
+    pid: int
+    vruntime_before: float = 0.0
+    vruntime_after: float = 0.0
+
+
+@dataclass(frozen=True)
 class VruntimeSample:
     """Periodic vruntime snapshot (drives Fig 4.6)."""
 
@@ -86,6 +98,7 @@ class KernelTracer:
         self.switches: RingBuffer = RingBuffer(max_records)
         self.exits: RingBuffer = RingBuffer(max_records)
         self.wakeups: RingBuffer = RingBuffer(max_records)
+        self.migrations: RingBuffer = RingBuffer(max_records)
         self.vruntime_samples: RingBuffer = RingBuffer(max_records)
         self.sample_vruntime = sample_vruntime
 
@@ -100,6 +113,9 @@ class KernelTracer:
 
     def record_wakeup(self, record: WakeupRecord) -> None:
         self.wakeups.append(record)
+
+    def record_migration(self, record: MigrationRecord) -> None:
+        self.migrations.append(record)
 
     def record_vruntime(self, time: float, pid: int, vruntime: float) -> None:
         if self.sample_vruntime:

@@ -12,6 +12,9 @@ The kernel calls into the policy at exactly the points real Linux does:
                         (Scenario 1).
 * ``pick_next``       — choose the next task from the runqueue.
 * ``on_dequeue_sleep``— bookkeeping when a task blocks (Scenario 3).
+* ``migrate``         — renormalize a task's timebase when the load
+                        balancer moves it between runqueues
+                        (``migrate_task_rq_fair``).
 """
 
 from __future__ import annotations
@@ -67,3 +70,20 @@ class SchedPolicy(ABC):
         """Bookkeeping when ``task`` blocks; default records the
         vruntime it slept at (right-hand argument of Eq 2.1)."""
         task.last_sleep_vruntime = task.vruntime
+
+    def migrate(self, src_rq: RunQueue, dst_rq: RunQueue, task: Task) -> None:
+        """Renormalize ``task``'s virtual timebase for a cross-CPU move.
+
+        Each runqueue's vruntime clock is private, so an absolute
+        vruntime is meaningless on another CPU; what must be preserved
+        is the task's *relative* position.  The default implements the
+        CFS rule (``migrate_task_rq_fair``): express the vruntime as a
+        delta against the source's ``min_vruntime`` and rebase it onto
+        the destination's.  Called with the task detached from both
+        runqueues.  All of the task's timebase-relative state shifts by
+        the same amount so Eq 2.1's sleep clamp stays meaningful.
+        """
+        delta = dst_rq.min_vruntime - src_rq.min_vruntime
+        task.vruntime += delta
+        task.last_sleep_vruntime += delta
+        task.deadline += delta

@@ -64,6 +64,19 @@ class EevdfScheduler(SchedPolicy):
         task.last_sleep_vruntime = task.vruntime
         self.renew_deadline(task)
 
+    def migrate(self, src_rq: RunQueue, dst_rq: RunQueue, task: Task) -> None:
+        """EEVDF renormalization: preserve the task's *lag* — its
+        distance from the load-weighted average vruntime — across the
+        move (the kernel's ``update_entity_lag``/``place_entity`` pair
+        collapses to exactly this shift for an undelayed migration).
+        Called with the task detached from both runqueues, so each
+        average is over the tasks the move leaves behind/joins.
+        """
+        delta = dst_rq.avg_vruntime() - src_rq.avg_vruntime()
+        task.vruntime += delta
+        task.last_sleep_vruntime += delta
+        task.deadline += delta
+
     # ------------------------------------------------------------------
     # Preemption decisions
     # ------------------------------------------------------------------

@@ -27,19 +27,43 @@ BALANCE_INTERVAL_NS = 4_000_000
 
 @dataclass
 class Migration:
-    """Record of one task migration (for tests and traces)."""
+    """Record of one task migration (for tests and traces).
+
+    Beyond the who/where/when, each record snapshots the fairness
+    baselines of both runqueues *at migration time* — the raw material
+    the validate-layer migration oracles recompute the expected
+    renormalization from.  ``src_nr_running`` is the donor's occupancy
+    before the task was detached (the donor-overload precondition);
+    the avg_vruntime baselines are taken with the task detached, the
+    same values the EEVDF renormalization itself sees.
+    """
 
     task: Task
     src_cpu: int
     dst_cpu: int
     time: float
+    vruntime_before: float = 0.0
+    vruntime_after: float = 0.0
+    src_min_vruntime: float = 0.0
+    dst_min_vruntime: float = 0.0
+    src_avg_vruntime: float = 0.0
+    dst_avg_vruntime: float = 0.0
+    src_nr_running: int = 0
+    was_current: bool = False
 
 
 class LoadBalancer:
-    """Idle-pull balancer over a set of runqueues."""
+    """Idle-pull balancer over a set of runqueues.
 
-    def __init__(self, runqueues: List[RunQueue]):
+    ``policy`` is the scheduling policy whose ``migrate`` hook
+    renormalizes a task's virtual timebase across the move
+    (``migrate_task_rq_fair``).  ``None`` skips renormalization —
+    only the validate layer uses that, to model the pre-fix bug.
+    """
+
+    def __init__(self, runqueues: List[RunQueue], policy=None):
         self.runqueues = runqueues
+        self.policy = policy
         self.migrations: List[Migration] = []
 
     # ------------------------------------------------------------------
@@ -58,7 +82,7 @@ class LoadBalancer:
             raise ValueError(f"{task} has no allowed CPU")
         idle = [rq for rq in allowed if rq.nr_running == 0]
         if idle:
-            return idle[0].cpu
+            return min(idle, key=lambda rq: rq.cpu).cpu
         return min(allowed, key=lambda rq: (rq.load, rq.cpu)).cpu
 
     # ------------------------------------------------------------------
@@ -82,10 +106,32 @@ class LoadBalancer:
             task = self._first_migratable(donor, rq.cpu)
             if task is None:
                 continue
+            src_nr_running = donor.nr_running
+            was_current = donor.current is task
             donor.remove(task)
+            # Baselines with the task detached from both queues — the
+            # exact frame the renormalization operates in.
+            vruntime_before = task.vruntime
+            src_min = donor.min_vruntime
+            dst_min = rq.min_vruntime
+            src_avg = donor.avg_vruntime()
+            dst_avg = rq.avg_vruntime()
+            if self.policy is not None:
+                self.policy.migrate(donor, rq, task)
             rq.add(task)
+            rq.update_min_vruntime()
             task.migrations += 1
-            migration = Migration(task, donor.cpu, rq.cpu, now)
+            migration = Migration(
+                task, donor.cpu, rq.cpu, now,
+                vruntime_before=vruntime_before,
+                vruntime_after=task.vruntime,
+                src_min_vruntime=src_min,
+                dst_min_vruntime=dst_min,
+                src_avg_vruntime=src_avg,
+                dst_avg_vruntime=dst_avg,
+                src_nr_running=src_nr_running,
+                was_current=was_current,
+            )
             performed.append(migration)
             self.migrations.append(migration)
         return performed

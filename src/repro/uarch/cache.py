@@ -151,6 +151,13 @@ class CacheLevel:
         """Lines currently resident in ``set_index`` (LRU → MRU order)."""
         return tuple(self._sets[set_index])
 
+    def occupied_sets(self):
+        """Yield ``(set_index, lines)`` for every non-empty set, lines
+        in LRU → MRU order.  Read-only view for structural oracles."""
+        for index, bucket in enumerate(self._sets):
+            if bucket:
+                yield index, tuple(bucket)
+
     def flush_all(self) -> None:
         for bucket in self._sets:
             bucket.clear()

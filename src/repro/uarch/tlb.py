@@ -96,6 +96,13 @@ class Tlb:
             return True
         return False
 
+    def occupied_sets(self):
+        """Yield ``(set_index, tags)`` for every non-empty set, tags in
+        LRU → MRU order.  Read-only view for structural oracles."""
+        for index, bucket in enumerate(self._sets):
+            if bucket:
+                yield index, tuple(bucket)
+
     def flush_all(self) -> None:
         for bucket in self._sets:
             bucket.clear()

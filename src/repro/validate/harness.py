@@ -37,11 +37,13 @@ from repro.validate.invariants import (
     InvariantMonitor,
     PolicyProbe,
     StepProbe,
+    check_migrations,
     check_no_lost_wakeups,
     check_runtime_conservation,
     check_switch_stream,
     check_vruntime_monotonic,
 )
+from repro.validate.uarch import UarchProbe, inject_llc_leak, run_uarch_case
 from repro.validate.workload import WorkloadSpec, build_tasks, generate_workload
 
 #: Scheduler params come from the paper's 16-core testbed, like every
@@ -125,8 +127,16 @@ _BUGGY_POLICIES = {
     ("greedy-pick", "eevdf"): _EevdfGreedyPick,
 }
 
+#: Bugs planted below the policy layer (balancer / memory hierarchy),
+#: applied to the constructed kernel rather than the policy class.
+_KERNEL_BUGS: Tuple[str, ...] = (
+    "skip-migration-renorm",  # balancer moves tasks with absolute vruntime
+    "inclusive-llc-leak",     # LLC evictions stop back-invalidating
+)
+
 #: Public names accepted by ``--inject-bug``.
-BUG_NAMES: Tuple[str, ...] = tuple(sorted({k[0] for k in _BUGGY_POLICIES}))
+BUG_NAMES: Tuple[str, ...] = tuple(sorted(
+    {k[0] for k in _BUGGY_POLICIES} | set(_KERNEL_BUGS)))
 
 
 def make_validate_policy(scheduler: str, features: Optional[Dict[str, Any]],
@@ -134,7 +144,7 @@ def make_validate_policy(scheduler: str, features: Optional[Dict[str, Any]],
     """Build the (optionally sabotaged) policy for one case run."""
     params = SchedParams.for_cores(PARAMS_CORE_COUNT)
     feats = SchedFeatures(**features) if features else SchedFeatures.default()
-    if bug is not None:
+    if bug is not None and bug not in _KERNEL_BUGS:
         key = (bug, scheduler)
         if key not in _BUGGY_POLICIES:
             raise ValueError(
@@ -166,6 +176,7 @@ class CaseOutcome:
     n_switches: int
     n_wakeups: int
     n_preempt_grants: int
+    n_migrations: int
     per_task_runtime: Tuple[Tuple[int, float], ...]
 
     @property
@@ -173,9 +184,16 @@ class CaseOutcome:
         return not self.invariants
 
 
+#: Sample the (state-proportional) uarch structural probe once per this
+#: many event-loop steps, plus once at quiescence.
+_UARCH_SAMPLE_EVERY = 32
+
+
 def run_case(spec: WorkloadSpec, scheduler: str, *,
              bug: Optional[str] = None) -> CaseOutcome:
     """Run one workload under every oracle; return the outcome."""
+    if bug is not None and bug not in BUG_NAMES:
+        raise ValueError(f"unknown bug {bug!r}; known: {BUG_NAMES}")
     monitor = InvariantMonitor()
     policy = make_validate_policy(scheduler, spec.features, bug)
     probe = PolicyProbe(policy, monitor)
@@ -184,21 +202,44 @@ def run_case(spec: WorkloadSpec, scheduler: str, *,
     tracer = KernelTracer(sample_vruntime=True)
     kernel = Kernel(machine, probe, rng, tracer=tracer)
     probe.clock = lambda: kernel.sim.now
+    if bug == "skip-migration-renorm":
+        # The pre-fix balancer: detach/attach with absolute vruntime.
+        kernel.balancer.policy = None
+    elif bug == "inclusive-llc-leak":
+        inject_llc_leak(machine.hierarchy)
     tasks = []
     for task, tspec in build_tasks(spec):
         cpu = None
         if tspec.pinned_cpu is not None:
             cpu = min(tspec.pinned_cpu, spec.n_cpus - 1)
-        kernel.spawn(
-            task, cpu=cpu,
-            wake_placement=tspec.wake_placement,
-            sleep_vruntime=(tspec.sleep_vruntime
-                            if tspec.wake_placement else None),
-        )
+
+        def do_spawn(task=task, tspec=tspec, cpu=cpu):
+            kernel.spawn(
+                task, cpu=cpu,
+                wake_placement=tspec.wake_placement,
+                sleep_vruntime=(tspec.sleep_vruntime
+                                if tspec.wake_placement else None),
+            )
+
+        if tspec.spawn_at_ns > 0:
+            kernel.sim.call_at(tspec.spawn_at_ns, do_spawn, label="spawn")
+        else:
+            do_spawn()
         tasks.append(task)
     step_probe = StepProbe(kernel, monitor)
-    kernel.run_until(predicate=step_probe, max_time=spec.horizon_ns)
+    uarch_probe = UarchProbe(machine, monitor)
+    steps = 0
+
+    def predicate() -> bool:
+        nonlocal steps
+        steps += 1
+        if steps % _UARCH_SAMPLE_EVERY == 0:
+            uarch_probe.check(kernel.now)
+        return step_probe()
+
+    kernel.run_until(predicate=predicate, max_time=spec.horizon_ns)
     step_probe()  # sample once more: the final event isn't followed by a step
+    uarch_probe.check(kernel.now)
     heap_drained = kernel.sim.peek_next_time() is None
     end_time = kernel.now
 
@@ -209,6 +250,8 @@ def run_case(spec: WorkloadSpec, scheduler: str, *,
     accounted = {c: st.accounted_until for c, st in enumerate(kernel.cpus)}
     violations += check_runtime_conservation(monitor, tasks, accounted,
                                              end_time)
+    violations += check_migrations(kernel.balancer.migrations, tracer,
+                                   tasks, scheduler)
 
     grants = sum(1 for w in tracer.wakeups if w.preempted)
     return CaseOutcome(
@@ -223,23 +266,26 @@ def run_case(spec: WorkloadSpec, scheduler: str, *,
         n_switches=len(tracer.switches),
         n_wakeups=len(tracer.wakeups),
         n_preempt_grants=grants,
+        n_migrations=len(kernel.balancer.migrations),
         per_task_runtime=tuple(
             (t.pid, t.sum_exec_runtime) for t in tasks),
     )
 
 
 def _trace_digest(tracer: KernelTracer, tasks) -> str:
-    """Bit-exact digest of the schedule: every switch and wakeup record
-    plus each task's final accounting state."""
+    """Bit-exact digest of the schedule: every switch, wakeup and
+    migration record plus each task's final accounting state."""
     h = hashlib.sha256()
     for rec in tracer.switches:
         h.update(repr(rec).encode())
     for rec in tracer.wakeups:
         h.update(repr(rec).encode())
+    for rec in tracer.migrations:
+        h.update(repr(rec).encode())
     for task in tasks:
         h.update(
             f"{task.pid}|{task.vruntime!r}|{task.sum_exec_runtime!r}|"
-            f"{task.state.value}|{task.wakeups}".encode()
+            f"{task.state.value}|{task.wakeups}|{task.migrations}".encode()
         )
     return h.hexdigest()
 
@@ -266,6 +312,8 @@ class FailureSummary:
     #: Excluded from repr so the report digest is location-independent.
     reproducer_path: Optional[str] = field(default=None, repr=False,
                                            compare=False)
+    #: ``--differential`` divergence lines for this failing seed.
+    differential: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -282,6 +330,7 @@ class ValidateReport:
     n_wakeups: int
     n_preempt_grants: int
     failures: Tuple[FailureSummary, ...]
+    n_migrations: int = 0
 
     @property
     def ok(self) -> bool:
@@ -290,10 +339,12 @@ class ValidateReport:
 
 def run_fuzz_case(case_index: int, root_seed: int, cpus: int,
                   scheduler: str, bug: Optional[str] = None,
-                  max_tasks: int = 6) -> CaseOutcome:
+                  max_tasks: int = 6,
+                  profile: str = "mixed") -> CaseOutcome:
     """One campaign cell (module-level so the pool can pickle it)."""
     case_seed = derive_seed(root_seed, "validate", scheduler, case_index)
-    spec = generate_workload(case_seed, n_cpus=cpus, max_tasks=max_tasks)
+    spec = generate_workload(case_seed, n_cpus=cpus, max_tasks=max_tasks,
+                             profile=profile)
     return run_case(spec, scheduler, bug=bug)
 
 
@@ -312,6 +363,9 @@ def run_validate(
     shrink: bool = True,
     out_dir: Optional[str] = None,
     max_tasks: int = 6,
+    profile: str = "mixed",
+    differential: bool = False,
+    uarch_cases: int = 0,
 ) -> ValidateReport:
     """Fuzz ``cases`` random workloads per scheduler under all oracles.
 
@@ -319,6 +373,14 @@ def run_validate(
     seed from ``(seed, scheduler, index)``, never from pool order).  On
     a violation the workload is shrunk to a minimal reproducer; with
     ``out_dir`` set, the reproducer is written as a replayable manifest.
+
+    ``profile`` selects the workload family (see
+    :func:`~repro.validate.workload.generate_workload`).
+    ``differential=True`` additionally re-runs every failing seed across
+    the CFS/EEVDF feature grid and attaches the divergence summary to
+    its :class:`FailureSummary`.  ``uarch_cases`` appends that many
+    scripted cache/TLB differential cases (machine vs brute-force
+    reference) to the campaign.
     """
     from repro.validate.shrink import emit_reproducer, shrink_workload
 
@@ -330,7 +392,7 @@ def run_validate(
         raise ValueError(f"unknown scheduler {scheduler!r}")
     cells = [
         dict(case_index=i, root_seed=seed, cpus=cpus, scheduler=s,
-             bug=bug, max_tasks=max_tasks)
+             bug=bug, max_tasks=max_tasks, profile=profile)
         for s in schedulers for i in range(cases)
     ]
     outcomes = parallel_map(_fuzz_cell, cells, jobs=jobs)
@@ -343,8 +405,17 @@ def run_validate(
         if outcome.ok:
             continue
         spec = generate_workload(outcome.seed, n_cpus=outcome.n_cpus,
-                                 max_tasks=max_tasks)
+                                 max_tasks=max_tasks, profile=profile)
         target = set(outcome.invariants)
+        diff_lines: Tuple[str, ...] = ()
+        if differential:
+            from repro.validate.differential import run_differential
+
+            diff_report = run_differential(spec=spec, bug=bug)
+            diff_lines = diff_report.divergence + tuple(
+                f"{r.scheduler}/{r.variant}: "
+                f"{','.join(r.outcome.invariants) or 'ok'}"
+                for r in diff_report.results if not r.outcome.ok)
         if shrink:
             def still_fails(candidate: WorkloadSpec) -> bool:
                 result = run_case(candidate, outcome.scheduler, bug=bug)
@@ -360,7 +431,21 @@ def run_validate(
             invariants=outcome.invariants,
             shrunk_tasks=len(spec.tasks),
             reproducer_path=path,
+            differential=diff_lines,
         ))
+    for i in range(uarch_cases):
+        uarch_seed = derive_seed(seed, "validate-uarch", i)
+        uarch_violations = run_uarch_case(uarch_seed)
+        digest.update(f"uarch:{uarch_seed}:"
+                      f"{len(uarch_violations)}".encode())
+        if uarch_violations:
+            failures.append(FailureSummary(
+                scheduler="uarch",
+                case_seed=uarch_seed,
+                invariants=tuple(sorted(
+                    {v.invariant for v in uarch_violations})),
+                shrunk_tasks=0,
+            ))
     return ValidateReport(
         cases=cases,
         schedulers=schedulers,
@@ -372,4 +457,5 @@ def run_validate(
         n_wakeups=sum(o.n_wakeups for o in outcomes),
         n_preempt_grants=sum(o.n_preempt_grants for o in outcomes),
         failures=tuple(failures),
+        n_migrations=sum(o.n_migrations for o in outcomes),
     )

@@ -118,6 +118,19 @@ def ref_cfs_pick(rq: RunQueue) -> Optional[Task]:
     return min(rq.queued, key=lambda t: (t.vruntime, t.pid))
 
 
+def ref_migrate_delta(scheduler: str, src_min: float, dst_min: float,
+                      src_avg: float, dst_avg: float) -> float:
+    """Expected vruntime shift for a cross-CPU move.
+
+    CFS rebases against min_vruntime (``migrate_task_rq_fair``); EEVDF
+    preserves lag against the load-weighted average.  Both baselines
+    are taken with the task detached from both runqueues.
+    """
+    if scheduler == "eevdf":
+        return dst_avg - src_avg
+    return dst_min - src_min
+
+
 # ----------------------------------------------------------------------
 # Online monitor
 # ----------------------------------------------------------------------
@@ -320,6 +333,31 @@ class PolicyProbe:
                 f"{task.last_sleep_vruntime:.1f}",
             )
 
+    def migrate(self, src_rq: RunQueue, dst_rq: RunQueue, task: Task) -> None:
+        now = self.clock()
+        mon = self.monitor
+        v_before = task.vruntime
+        sleep_before = task.last_sleep_vruntime
+        delta_ref = ref_migrate_delta(
+            "eevdf" if self._is_eevdf else "cfs",
+            src_rq.min_vruntime, dst_rq.min_vruntime,
+            ref_avg_vruntime(src_rq), ref_avg_vruntime(dst_rq))
+        self.inner.migrate(src_rq, dst_rq, task)
+        if abs(task.vruntime - (v_before + delta_ref)) > _EPS:
+            mon.report(
+                "migration-renormalization", now,
+                f"pid{task.pid} migrated cpu{src_rq.cpu}->cpu{dst_rq.cpu} "
+                f"with vruntime {v_before:.1f} -> {task.vruntime:.1f}; "
+                f"reference shift is {delta_ref:+.1f}",
+            )
+        if abs(task.last_sleep_vruntime
+               - (sleep_before + (task.vruntime - v_before))) > _EPS:
+            mon.report(
+                "migration-renormalization", now,
+                f"pid{task.pid} sleep-clamp state not shifted with the "
+                f"vruntime across cpu{src_rq.cpu}->cpu{dst_rq.cpu}",
+            )
+
 
 # ----------------------------------------------------------------------
 # Step probe (cross-CPU checks at every event boundary)
@@ -376,17 +414,28 @@ class StepProbe:
 # Post-hoc trace checks
 # ----------------------------------------------------------------------
 def check_vruntime_monotonic(tracer) -> List[Violation]:
-    """Per-task vruntime never decreases.
+    """Per-task vruntime never decreases *within one runqueue*.
 
-    This holds *globally* in the model (not just while running): both
-    policies clamp wake placement at the vruntime the task slept with,
-    so any decrease means placement or accounting rewound time.
+    Both policies clamp wake placement at the vruntime the task slept
+    with, so any decrease means placement or accounting rewound time —
+    except across a migration, where the renormalization legitimately
+    rebases the vruntime (possibly downward, to a lagging CPU's clock).
+    The tracer's migration stream marks those rebasing points; the
+    per-pid baseline resets at each one.
     """
     violations: List[Violation] = []
+    mig_times: Dict[int, List[float]] = {}
+    for m in tracer.migrations:
+        mig_times.setdefault(m.pid, []).append(m.time)
     last: Dict[int, float] = {}
+    last_time: Dict[int, float] = {}
     for sample in tracer.vruntime_samples:
         prev = last.get(sample.pid)
-        if prev is not None and sample.vruntime < prev - _EPS:
+        migrated_between = any(
+            last_time.get(sample.pid, 0.0) <= mt <= sample.time
+            for mt in mig_times.get(sample.pid, ()))
+        if (prev is not None and not migrated_between
+                and sample.vruntime < prev - _EPS):
             violations.append(Violation(
                 "vruntime-monotonic", sample.time,
                 f"pid{sample.pid} vruntime regressed "
@@ -395,6 +444,93 @@ def check_vruntime_monotonic(tracer) -> List[Violation]:
             if len(violations) >= MAX_VIOLATIONS:
                 break
         last[sample.pid] = sample.vruntime
+        last_time[sample.pid] = sample.time
+    return violations
+
+
+#: Tolerance for renormalization arithmetic: baselines and averages go
+#: through one float summation each, so exact equality is too strict.
+_MIGRATE_EPS = 1e-3
+
+
+def check_migrations(migrations, tracer, tasks,
+                     scheduler: str) -> List[Violation]:
+    """Migration-path oracles over the balancer's enriched records.
+
+    Recomputes the expected renormalization from the baselines each
+    :class:`~repro.sched.loadbalance.Migration` snapshotted at move
+    time — independent of the policy's own ``migrate`` hook, so a
+    balancer that skips the hook entirely is still caught.  Also
+    enforces the idle-pull preconditions (donor overloaded, never the
+    running task, never a task pinned away from the destination),
+    bounded lag across the move, and conservation of the migration
+    count against both the kernel trace and per-task counters.
+    """
+    violations: List[Violation] = []
+
+    def report(invariant: str, time: float, detail: str) -> None:
+        if len(violations) < MAX_VIOLATIONS:
+            violations.append(Violation(invariant, time, detail))
+
+    for m in migrations:
+        expected = m.vruntime_before + ref_migrate_delta(
+            scheduler, m.src_min_vruntime, m.dst_min_vruntime,
+            m.src_avg_vruntime, m.dst_avg_vruntime)
+        if abs(m.vruntime_after - expected) > _MIGRATE_EPS:
+            report(
+                "migration-renormalization", m.time,
+                f"pid{m.task.pid} cpu{m.src_cpu}->cpu{m.dst_cpu}: vruntime "
+                f"{m.vruntime_before:.1f} -> {m.vruntime_after:.1f}, "
+                f"reference renormalization gives {expected:.1f}",
+            )
+        if m.src_nr_running <= 1:
+            report(
+                "migration-donor-overloaded", m.time,
+                f"pid{m.task.pid} pulled from cpu{m.src_cpu} with only "
+                f"{m.src_nr_running} runnable (donor must be overloaded)",
+            )
+        if m.was_current:
+            report(
+                "migration-of-current", m.time,
+                f"pid{m.task.pid} was running on cpu{m.src_cpu} when pulled",
+            )
+        if not m.task.can_run_on(m.dst_cpu):
+            report(
+                "migration-pinned", m.time,
+                f"pid{m.task.pid} migrated to cpu{m.dst_cpu} outside its "
+                f"affinity mask {sorted(m.task.allowed_cpus) if m.task.allowed_cpus else 'all'}",
+            )
+        if scheduler == "eevdf":
+            lag_before = m.src_avg_vruntime - m.vruntime_before
+            lag_after = m.dst_avg_vruntime - m.vruntime_after
+        else:
+            lag_before = m.src_min_vruntime - m.vruntime_before
+            lag_after = m.dst_min_vruntime - m.vruntime_after
+        if abs(lag_after) > abs(lag_before) + _MIGRATE_EPS:
+            report(
+                "migration-bounded-lag", m.time,
+                f"pid{m.task.pid} relative lag grew across the move: "
+                f"{lag_before:.1f} -> {lag_after:.1f} "
+                f"(starvation/monopoly risk on cpu{m.dst_cpu})",
+            )
+
+    traced = list(tracer.migrations)
+    if len(traced) != len(migrations):
+        report(
+            "migration-count-conservation", 0.0,
+            f"balancer performed {len(migrations)} migrations but the "
+            f"kernel trace recorded {len(traced)}",
+        )
+    per_pid: Dict[int, int] = {}
+    for m in migrations:
+        per_pid[m.task.pid] = per_pid.get(m.task.pid, 0) + 1
+    for task in tasks:
+        if task.migrations != per_pid.get(task.pid, 0):
+            report(
+                "migration-count-conservation", 0.0,
+                f"pid{task.pid} counts {task.migrations} migrations but the "
+                f"balancer recorded {per_pid.get(task.pid, 0)}",
+            )
     return violations
 
 

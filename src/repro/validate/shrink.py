@@ -58,7 +58,8 @@ def _with_events(spec: WorkloadSpec, idx: int,
 
 def _single_cpu(spec: WorkloadSpec) -> WorkloadSpec:
     tasks = [
-        replace(t, pinned_cpu=0 if t.pinned_cpu is not None else None)
+        replace(t, pinned_cpu=0 if t.pinned_cpu is not None else None,
+                allowed_cpus=None)
         for t in spec.tasks
     ]
     return replace(spec, n_cpus=1, tasks=tasks)
@@ -135,6 +136,10 @@ def shrink_workload(
             if tspec.wake_placement:
                 simplifications.append(
                     {"wake_placement": False, "sleep_vruntime": 0.0})
+            if tspec.spawn_at_ns > 0:
+                simplifications.append({"spawn_at_ns": 0.0})
+            if tspec.allowed_cpus is not None:
+                simplifications.append({"allowed_cpus": None})
             for change in simplifications:
                 tasks = list(current.tasks)
                 tasks[idx] = replace(tasks[idx], **change)

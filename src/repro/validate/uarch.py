@@ -1,0 +1,465 @@
+"""Cache/TLB oracles for the validate layer.
+
+Two complementary mechanisms cover the memory system:
+
+* :class:`UarchProbe` — *structural* invariants checked on the live
+  :class:`~repro.cpu.machine.Machine` during a fuzz run: LLC
+  inclusivity (every private-cache line has an LLC copy), per-set
+  occupancy never exceeding associativity, for caches and TLBs alike.
+  These hold at every instant regardless of workload, so the harness
+  samples them from its step probe and once more at quiescence.
+
+* :func:`run_uarch_case` — a *differential* fuzzer that drives the real
+  hierarchy and a deliberately naive reference model (plain lists, no
+  O(1) tricks, structure transcribed from the hardware manuals rather
+  than from ``repro.uarch``) through the same scripted access sequence
+  and compares latency classes, hit/miss/eviction counters and per-set
+  LRU order after every operation.  A bug in the optimized
+  insertion-ordered-dict representation cannot hide in its own oracle.
+
+:func:`inject_llc_leak` plants the ``inclusive-llc-leak`` bug: LLC
+evictions stop back-invalidating private copies, silently breaking the
+inclusivity guarantee §5.2's attack depends on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.machine import Machine, MachineConfig
+from repro.uarch.address import page_number
+from repro.validate.invariants import MAX_VIOLATIONS, Violation
+
+_HUGE_PAGE_SIZE = 2 * 1024 * 1024
+_HUGE_VPN_BASE = 1 << 48
+
+
+# ----------------------------------------------------------------------
+# Brute-force reference models (lists, linear scans — slow on purpose)
+# ----------------------------------------------------------------------
+class RefLevel:
+    """One set-associative LRU level as a list of lists."""
+
+    def __init__(self, n_sets: int, n_ways: int, line_size: int = 64):
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.line_size = line_size
+        self.sets: List[List[int]] = [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _line(self, addr: int) -> int:
+        return addr - (addr % self.line_size)
+
+    def _bucket(self, addr: int) -> List[int]:
+        return self.sets[(addr // self.line_size) % self.n_sets]
+
+    def lookup(self, addr: int, *, touch: bool = True,
+               count_stats: bool = True) -> bool:
+        line = self._line(addr)
+        bucket = self._bucket(addr)
+        if line in bucket:
+            if count_stats:
+                self.hits += 1
+            if touch:
+                bucket.remove(line)
+                bucket.append(line)
+            return True
+        if count_stats:
+            self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> Optional[int]:
+        line = self._line(addr)
+        bucket = self._bucket(addr)
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+            return None
+        victim = None
+        if len(bucket) >= self.n_ways:
+            victim = bucket.pop(0)
+            self.evictions += 1
+        bucket.append(line)
+        return victim
+
+    def invalidate(self, addr: int) -> None:
+        line = self._line(addr)
+        bucket = self._bucket(addr)
+        if line in bucket:
+            bucket.remove(line)
+
+
+class RefHierarchy:
+    """Reference reimplementation of the inclusive-LLC walk."""
+
+    def __init__(self, n_cores: int, geometry, latency):
+        self.n_cores = n_cores
+        self.latency = latency
+        self.l1i = [RefLevel(geometry.l1i.n_sets, geometry.l1i.n_ways)
+                    for _ in range(n_cores)]
+        self.l1d = [RefLevel(geometry.l1d.n_sets, geometry.l1d.n_ways)
+                    for _ in range(n_cores)]
+        self.l2 = [RefLevel(geometry.l2.n_sets, geometry.l2.n_ways)
+                   for _ in range(n_cores)]
+        self.llc = RefLevel(geometry.llc.n_sets, geometry.llc.n_ways)
+
+    def access(self, core: int, addr: int, kind: str = "data",
+               *, count_stats: bool = True) -> int:
+        l1 = self.l1d[core] if kind == "data" else self.l1i[core]
+        if l1.lookup(addr, count_stats=count_stats):
+            return self.latency.l1_hit
+        if self.l2[core].lookup(addr, count_stats=count_stats):
+            l1.fill(addr)
+            return self.latency.l2_hit
+        if self.llc.lookup(addr, count_stats=count_stats):
+            self.l2[core].fill(addr)
+            l1.fill(addr)
+            return self.latency.llc_hit
+        evicted = self.llc.fill(addr)
+        if evicted is not None:
+            for c in range(self.n_cores):
+                self.l1i[c].invalidate(evicted)
+                self.l1d[c].invalidate(evicted)
+                self.l2[c].invalidate(evicted)
+        self.l2[core].fill(addr)
+        l1.fill(addr)
+        return self.latency.dram
+
+    def prefetch(self, core: int, addr: int, kind: str = "inst") -> None:
+        self.access(core, addr, kind=kind, count_stats=False)
+
+    def clflush(self, addr: int) -> None:
+        self.llc.invalidate(addr)
+        for c in range(self.n_cores):
+            self.l1i[c].invalidate(addr)
+            self.l1d[c].invalidate(addr)
+            self.l2[c].invalidate(addr)
+
+
+class RefTlb:
+    """One TLB level as a list of (asid, vpn) tags per set."""
+
+    def __init__(self, n_sets: int, n_ways: int):
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.sets: List[List[Tuple[int, int]]] = [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, asid: int, vpn: int) -> bool:
+        bucket = self.sets[vpn % self.n_sets]
+        tag = (asid, vpn)
+        if tag in bucket:
+            self.hits += 1
+            bucket.remove(tag)
+            bucket.append(tag)
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, asid: int, vpn: int) -> None:
+        bucket = self.sets[vpn % self.n_sets]
+        tag = (asid, vpn)
+        if tag in bucket:
+            bucket.remove(tag)
+        elif len(bucket) >= self.n_ways:
+            bucket.pop(0)
+            self.evictions += 1
+        bucket.append(tag)
+
+
+class RefTlbHierarchy:
+    """Reference iTLB + STLB walk."""
+
+    def __init__(self, n_cores: int, itlb_geom, stlb_geom, latency):
+        self.latency = latency
+        self.itlb = [RefTlb(itlb_geom.n_sets, itlb_geom.n_ways)
+                     for _ in range(n_cores)]
+        self.stlb = [RefTlb(stlb_geom.n_sets, stlb_geom.n_ways)
+                     for _ in range(n_cores)]
+
+    def translate_fetch(self, core: int, asid: int, addr: int) -> int:
+        vpn = page_number(addr)
+        if self.itlb[core].lookup(asid, vpn):
+            return 0
+        if self.stlb[core].lookup(asid, vpn):
+            self.itlb[core].fill(asid, vpn)
+            return self.latency.stlb_hit
+        self.stlb[core].fill(asid, vpn)
+        self.itlb[core].fill(asid, vpn)
+        return self.latency.page_walk
+
+    def translate_data(self, core: int, asid: int, addr: int,
+                       *, huge: bool = False) -> int:
+        if huge:
+            vpn = _HUGE_VPN_BASE + addr // _HUGE_PAGE_SIZE
+        else:
+            vpn = page_number(addr)
+        if self.stlb[core].lookup(asid, vpn):
+            return 0
+        self.stlb[core].fill(asid, vpn)
+        return self.latency.page_walk
+
+
+# ----------------------------------------------------------------------
+# Structural probe (runs against the live machine)
+# ----------------------------------------------------------------------
+class UarchProbe:
+    """Structural cache/TLB invariants over a live machine.
+
+    ``check`` walks every non-empty set; cost is proportional to
+    resident state, so the harness samples it rather than running it at
+    every event boundary.
+    """
+
+    def __init__(self, machine: Machine, monitor) -> None:
+        self.machine = machine
+        self.monitor = monitor
+
+    def check(self, now: float) -> None:
+        self._check_occupancy(now)
+        self._check_inclusivity(now)
+        self._check_tlbs(now)
+
+    # -- individual invariants ----------------------------------------
+    def _check_occupancy(self, now: float) -> None:
+        hierarchy = self.machine.hierarchy
+        levels = [hierarchy.llc]
+        for c in range(self.machine.n_cores):
+            levels += [hierarchy.l1i[c], hierarchy.l1d[c], hierarchy.l2[c]]
+        for level in levels:
+            ways = level.geometry.n_ways
+            for set_index, lines in level.occupied_sets():
+                if len(lines) > ways:
+                    self.monitor.report(
+                        "cache-occupancy", now,
+                        f"{level.name} set {set_index} holds {len(lines)} "
+                        f"lines but has only {ways} ways",
+                    )
+                if len(set(lines)) != len(lines):
+                    self.monitor.report(
+                        "cache-occupancy", now,
+                        f"{level.name} set {set_index} holds duplicate lines",
+                    )
+
+    def _check_inclusivity(self, now: float) -> None:
+        hierarchy = self.machine.hierarchy
+        llc = hierarchy.llc
+        for c in range(self.machine.n_cores):
+            for level in (hierarchy.l1i[c], hierarchy.l1d[c],
+                          hierarchy.l2[c]):
+                for set_index, lines in level.occupied_sets():
+                    for line in lines:
+                        if not llc.contains(line):
+                            self.monitor.report(
+                                "llc-inclusivity", now,
+                                f"{level.name} set {set_index} holds line "
+                                f"{line:#x} with no LLC copy (inclusivity "
+                                f"broken)",
+                            )
+                            return  # one witness is enough per sample
+
+    def _check_tlbs(self, now: float) -> None:
+        tlbs = self.machine.tlbs
+        for c in range(self.machine.n_cores):
+            for tlb in (tlbs.itlb[c], tlbs.stlb[c]):
+                ways = tlb.geometry.n_ways
+                for set_index, tags in tlb.occupied_sets():
+                    if len(tags) > ways:
+                        self.monitor.report(
+                            "tlb-occupancy", now,
+                            f"{tlb.name} set {set_index} holds {len(tags)} "
+                            f"tags but has only {ways} ways",
+                        )
+
+
+# ----------------------------------------------------------------------
+# Differential uarch fuzzing (scripted sequences, machine vs reference)
+# ----------------------------------------------------------------------
+def _counter_snapshot(machine: Machine) -> Dict[str, Tuple[int, int, int]]:
+    h, t = machine.hierarchy, machine.tlbs
+    snap = {"LLC": (h.llc.hits, h.llc.misses, h.llc.evictions)}
+    for c in range(machine.n_cores):
+        for lvl in (h.l1i[c], h.l1d[c], h.l2[c]):
+            snap[lvl.name] = (lvl.hits, lvl.misses, lvl.evictions)
+        for tlb in (t.itlb[c], t.stlb[c]):
+            snap[tlb.name] = (tlb.hits, tlb.misses, tlb.evictions)
+    return snap
+
+
+def _ref_snapshot(ref: RefHierarchy, rtlb: RefTlbHierarchy,
+                  n_cores: int) -> Dict[str, Tuple[int, int, int]]:
+    snap = {"LLC": (ref.llc.hits, ref.llc.misses, ref.llc.evictions)}
+    for c in range(n_cores):
+        snap[f"L1I#{c}"] = (ref.l1i[c].hits, ref.l1i[c].misses,
+                            ref.l1i[c].evictions)
+        snap[f"L1D#{c}"] = (ref.l1d[c].hits, ref.l1d[c].misses,
+                            ref.l1d[c].evictions)
+        snap[f"L2#{c}"] = (ref.l2[c].hits, ref.l2[c].misses,
+                           ref.l2[c].evictions)
+        snap[f"iTLB#{c}"] = (rtlb.itlb[c].hits, rtlb.itlb[c].misses,
+                             rtlb.itlb[c].evictions)
+        snap[f"STLB#{c}"] = (rtlb.stlb[c].hits, rtlb.stlb[c].misses,
+                             rtlb.stlb[c].evictions)
+    return snap
+
+
+def generate_uarch_ops(seed: int, n_cores: int = 2,
+                       n_ops: int = 400) -> List[Tuple]:
+    """Deterministic scripted access sequence.
+
+    The address pool aliases heavily: a handful of page-sized strides
+    inside a few LLC-set groups, so sets fill, LRU order matters and
+    evictions (hence back-invalidations) actually happen.
+    """
+    rng = random.Random(seed)
+    pool: List[int] = []
+    base = 0x40_0000
+    for group in range(3):
+        for k in range(24):
+            # Same L1/L2/LLC set within a group, distinct lines.
+            pool.append(base + group * 64 + k * 128 * 1024)
+    ops: List[Tuple] = []
+    for _ in range(n_ops):
+        roll = rng.random()
+        core = rng.randrange(n_cores)
+        addr = rng.choice(pool)
+        if roll < 0.55:
+            ops.append(("access", core, addr,
+                        "data" if rng.random() < 0.7 else "inst"))
+        elif roll < 0.65:
+            ops.append(("prefetch", core, addr))
+        elif roll < 0.75:
+            ops.append(("clflush", addr))
+        elif roll < 0.87:
+            ops.append(("tlb_fetch", core, rng.randrange(2), addr))
+        else:
+            ops.append(("tlb_data", core, rng.randrange(2), addr,
+                        rng.random() < 0.3))
+    return ops
+
+
+def run_uarch_case(seed: int, n_cores: int = 2, n_ops: int = 400,
+                   machine: Optional[Machine] = None) -> List[Violation]:
+    """Drive the machine and the reference through one scripted
+    sequence; return all divergences as violations.
+
+    ``machine`` lets a test hand in a pre-sabotaged instance; by
+    default a fresh one is built.
+    """
+    machine = machine or Machine(MachineConfig(n_cores=n_cores))
+    geometry = machine.hierarchy.geometry
+    latency = machine.hierarchy.latency
+    ref = RefHierarchy(n_cores, geometry, latency)
+    rtlb = RefTlbHierarchy(n_cores, machine.tlbs.ITLB, machine.tlbs.STLB,
+                           latency)
+    violations: List[Violation] = []
+
+    def report(invariant: str, step: int, detail: str) -> None:
+        if len(violations) < MAX_VIOLATIONS:
+            violations.append(Violation(invariant, float(step), detail))
+
+    ops = generate_uarch_ops(seed, n_cores=n_cores, n_ops=n_ops)
+    for step, op in enumerate(ops):
+        kind = op[0]
+        touched_addr = None
+        if kind == "access":
+            _, core, addr, akind = op
+            got = machine.hierarchy.access(core, addr, kind=akind)
+            want = ref.access(core, addr, kind=akind)
+            touched_addr = addr
+            if got != want:
+                report("cache-accounting", step,
+                       f"access core{core} {addr:#x} ({akind}) returned "
+                       f"latency {got}, reference says {want}")
+        elif kind == "prefetch":
+            _, core, addr = op
+            machine.hierarchy.prefetch(core, addr)
+            ref.prefetch(core, addr)
+            touched_addr = addr
+        elif kind == "clflush":
+            _, addr = op
+            machine.hierarchy.clflush(addr)
+            ref.clflush(addr)
+            touched_addr = addr
+        elif kind == "tlb_fetch":
+            _, core, asid, addr = op
+            got = machine.tlbs.translate_fetch(core, asid, addr)
+            want = rtlb.translate_fetch(core, asid, addr)
+            if got != want:
+                report("tlb-accounting", step,
+                       f"translate_fetch core{core} asid{asid} {addr:#x} "
+                       f"returned {got}, reference says {want}")
+        elif kind == "tlb_data":
+            _, core, asid, addr, huge = op
+            got = machine.tlbs.translate_data(core, asid, addr, huge=huge)
+            want = rtlb.translate_data(core, asid, addr, huge=huge)
+            if got != want:
+                report("tlb-accounting", step,
+                       f"translate_data core{core} asid{asid} {addr:#x} "
+                       f"(huge={huge}) returned {got}, reference says {want}")
+
+        # LRU order of every touched set must match the reference
+        # exactly — the optimized dict ordering IS the LRU state.
+        if touched_addr is not None:
+            line = touched_addr - (touched_addr % 64)
+            for c in range(n_cores):
+                pairs = [
+                    (machine.hierarchy.l1i[c], ref.l1i[c]),
+                    (machine.hierarchy.l1d[c], ref.l1d[c]),
+                    (machine.hierarchy.l2[c], ref.l2[c]),
+                ]
+                for real, model in pairs:
+                    idx = real.geometry.set_index(line)
+                    got_lines = real.resident_lines(idx)
+                    want_lines = tuple(model.sets[idx])
+                    if got_lines != want_lines:
+                        report("cache-lru-order", step,
+                               f"{real.name} set {idx} order "
+                               f"{[hex(a) for a in got_lines]} != reference "
+                               f"{[hex(a) for a in want_lines]}")
+            idx = machine.hierarchy.llc.geometry.set_index(line)
+            got_lines = machine.hierarchy.llc.resident_lines(idx)
+            want_lines = tuple(ref.llc.sets[idx])
+            if got_lines != want_lines:
+                report("cache-lru-order", step,
+                       f"LLC set {idx} order {[hex(a) for a in got_lines]} "
+                       f"!= reference {[hex(a) for a in want_lines]}")
+        if len(violations) >= MAX_VIOLATIONS:
+            return violations
+
+    got_counters = _counter_snapshot(machine)
+    want_counters = _ref_snapshot(ref, rtlb, n_cores)
+    for name in sorted(want_counters):
+        if got_counters.get(name) != want_counters[name]:
+            invariant = ("tlb-accounting" if "TLB" in name.upper()
+                         else "cache-accounting")
+            report(invariant, len(ops),
+                   f"{name} counters (hits, misses, evictions) "
+                   f"{got_counters.get(name)} != reference "
+                   f"{want_counters[name]}")
+
+    # Final structural sweep with a throwaway monitor.
+    class _Collector:
+        def report(self, invariant, time, detail):
+            report(invariant, int(time), detail)
+
+    UarchProbe(machine, _Collector()).check(float(len(ops)))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Planted bug
+# ----------------------------------------------------------------------
+def inject_llc_leak(hierarchy) -> None:
+    """Break inclusivity: LLC evictions no longer purge private copies.
+
+    Patches the bound method on the *instance* — every Core holds a
+    reference to this hierarchy object, so swapping the object itself
+    would leave the cores talking to the healthy one.
+    """
+    hierarchy._back_invalidate = lambda line: None

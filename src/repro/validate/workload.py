@@ -70,6 +70,11 @@ class TaskSpec:
     duration_ns: Optional[float] = None
     #: Script events, each ``{"op": ..., ...}``; see ``_script_gen``.
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Spawn this many ns into the run (0 → at t=0).  Staggered fork
+    #: bursts are what trip the balancer mid-run.
+    spawn_at_ns: float = 0.0
+    #: Affinity mask wider than a single pin (``None`` → any CPU).
+    allowed_cpus: Optional[List[int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -81,6 +86,9 @@ class TaskSpec:
             "kind": self.kind,
             "duration_ns": self.duration_ns,
             "events": [dict(e) for e in self.events],
+            "spawn_at_ns": self.spawn_at_ns,
+            "allowed_cpus": (list(self.allowed_cpus)
+                            if self.allowed_cpus is not None else None),
         }
 
     @classmethod
@@ -130,6 +138,7 @@ def generate_workload(
     max_tasks: int = 6,
     horizon_ns: Optional[float] = None,
     feature_variants: bool = True,
+    profile: str = "mixed",
 ) -> WorkloadSpec:
     """Draw one random workload from ``seed``.
 
@@ -138,7 +147,19 @@ def generate_workload(
     (Scenario 2 placement + Eq 2.2), pause/periodic-timer pairs
     (Method 2 wakeups), cross-task signals, pinned vs. migratable tasks
     and nice values across the weight table.
+
+    ``profile`` selects the mix family:
+
+    * ``"classic"``  — the original single-queue-heavy mix above;
+    * ``"imbalance"``— imbalance-forcing mixes that make the idle-pull
+      balancer actually migrate (pinned dummy floods, staggered fork
+      bursts, affinity-constrained tasks, sleep/wake storms) plus
+      cache probe/flood pairs for the uarch oracles;
+    * ``"mixed"``    — draws per-seed between the two (the default fuzz
+      diet, so one campaign covers both regimes).
     """
+    if profile not in ("mixed", "imbalance", "classic"):
+        raise ValueError(f"unknown workload profile {profile!r}")
     rng = RngStreams(seed=seed)
     r = rng.stream("workload")
     n_tasks = r.randint(2, max(2, max_tasks))
@@ -148,6 +169,18 @@ def generate_workload(
     if feature_variants:
         features = dict(r.choice(sorted(FEATURE_VARIANTS.values(),
                                         key=repr)))
+
+    use_imbalance = n_cpus > 1 and (
+        profile == "imbalance"
+        or (profile == "mixed" and r.random() < 0.35))
+    if use_imbalance:
+        # Give the 4 ms balance period several chances to fire.
+        horizon_ns = max(horizon_ns, 16 * MS)
+        tasks = _generate_imbalance(r, n_cpus, horizon_ns)
+        return WorkloadSpec(
+            seed=seed, n_cpus=n_cpus, horizon_ns=horizon_ns,
+            features=features, tasks=tasks,
+        )
 
     tasks: List[TaskSpec] = []
     for i in range(n_tasks):
@@ -176,6 +209,138 @@ def generate_workload(
         seed=seed, n_cpus=n_cpus, horizon_ns=horizon_ns,
         features=features, tasks=tasks,
     )
+
+
+#: Line-aliasing address pool for the cache probe/flood scripts: all
+#: addresses map to one LLC set group (stride = one LLC way period for
+#: the default scaled-down geometry), far below the attacker huge-page
+#: region the layout reserves.
+_CACHE_POOL_BASE = 0x0080_0000
+_LLC_SET_STRIDE = 131072
+
+
+def _cache_addrs(set_offset: int, count: int) -> List[int]:
+    return [_CACHE_POOL_BASE + set_offset * 64 + k * _LLC_SET_STRIDE
+            for k in range(count)]
+
+
+def _generate_imbalance(r, n_cpus: int,
+                        horizon_ns: float) -> List[TaskSpec]:
+    """Imbalance-forcing task mix: make the idle-pull balancer work.
+
+    Construction (all knobs randomized per seed):
+
+    * pinned dummy flood on up to N−1 CPUs — §4.4's dummies; some
+      finite, so their CPU later goes idle and starts pulling, and
+      sometimes *stacked* two deep so the donor's queued task is a
+      pinned dummy the balancer must refuse to move;
+    * more migratable tasks than free CPUs, some affinity-constrained
+      to 2-CPU masks, running sleep/wake storms — queues build up,
+      sleepers leave CPUs idle exactly at balance ticks;
+    * a staggered fork burst (``spawn_at_ns``) arriving mid-run, after
+      the initial placement has settled;
+    * optionally a cache probe/flood pair for the uarch oracles: the
+      probe touches a few lines of one LLC set group from one CPU, the
+      flood streams enough lines through the same sets from another to
+      force LLC evictions → back-invalidations of the probe's lines.
+    """
+    tasks: List[TaskSpec] = []
+
+    n_flood = r.randint(1, max(1, n_cpus - 1))
+    stack_donor = r.random() < 0.5
+    for i in range(n_flood):
+        finite = r.random() < 0.4
+        tasks.append(TaskSpec(
+            name=f"t{len(tasks)}", nice=r.choice([-5, 0, 0, 5]),
+            pinned_cpu=i, kind="compute",
+            duration_ns=(round(r.uniform(1 * MS, horizon_ns / 2), 1)
+                         if finite else None),
+        ))
+    if stack_donor:
+        # Second pinned dummy on the first flood CPU: an overloaded
+        # donor whose queued task is unmigratable.
+        tasks.append(TaskSpec(
+            name=f"t{len(tasks)}", nice=0, pinned_cpu=0, kind="compute",
+            duration_ns=round(r.uniform(1 * MS, horizon_ns), 1),
+        ))
+
+    if r.random() < 0.8:
+        # A "napper" pinned to the last CPU: asleep across most balance
+        # ticks, so its CPU is reliably idle and pulling.
+        nap_events: List[Dict[str, Any]] = []
+        for _ in range(r.randint(4, 6)):
+            nap_events.append({"op": "sleep",
+                               "ns": round(r.uniform(1.5 * MS, 3.5 * MS), 1)})
+            nap_events.append({"op": "compute",
+                               "ns": round(r.uniform(30 * US, 150 * US), 1)})
+        tasks.append(TaskSpec(
+            name=f"t{len(tasks)}", nice=0, pinned_cpu=n_cpus - 1,
+            kind="script", events=nap_events,
+        ))
+
+    n_migratable = r.randint(2, 4)
+    for _ in range(n_migratable):
+        allowed = None
+        if n_cpus > 2 and r.random() < 0.4:
+            allowed = sorted(r.sample(range(n_cpus), 2))
+        events: List[Dict[str, Any]] = []
+        for _ in range(r.randint(3, 6)):
+            roll = r.random()
+            if roll < 0.55:
+                events.append({"op": "compute",
+                               "ns": round(r.uniform(500 * US, 3 * MS), 1)})
+            elif roll < 0.8:
+                events.append({"op": "sleep",
+                               "ns": round(r.uniform(20 * US, 500 * US), 1)})
+            else:
+                events.append({"op": "sleep",
+                               "ns": round(r.uniform(1 * MS, 3 * MS), 1)})
+        if r.random() < 0.3:
+            # Most migratable tasks run finite scripts and exit — a CPU
+            # that drains goes idle and starts pulling; a mix of eternal
+            # spinners would eventually park one on every CPU and no
+            # balance tick would ever find an idle puller.
+            events.append({"op": "spin",
+                           "ns": round(r.uniform(200 * US, 1 * MS), 1)})
+        tasks.append(TaskSpec(
+            name=f"t{len(tasks)}", nice=r.choice([-1, 0, 0, 1, 5]),
+            allowed_cpus=allowed, kind="script", events=events,
+        ))
+
+    if r.random() < 0.6:
+        # Staggered fork burst: arrives after initial placement settled.
+        burst_at = round(r.uniform(0.5 * MS, horizon_ns / 2), 1)
+        for j in range(r.randint(1, 3)):
+            tasks.append(TaskSpec(
+                name=f"t{len(tasks)}", nice=0, kind="compute",
+                duration_ns=round(r.uniform(1 * MS, 4 * MS), 1),
+                spawn_at_ns=round(burst_at + j * 200 * US, 1),
+            ))
+
+    if r.random() < 0.5:
+        # Cache probe/flood pair on distinct CPUs (finite, so they free
+        # their CPUs once the uarch state is interesting).
+        probe_cpu = 0
+        flood_cpu = 1 if n_cpus > 2 else n_cpus - 1
+        probe_addrs = _cache_addrs(0, 4)
+        flood_addrs = _cache_addrs(0, r.randint(18, 24))
+        tasks.append(TaskSpec(
+            name=f"t{len(tasks)}", nice=0, pinned_cpu=probe_cpu,
+            kind="script",
+            events=[{"op": "loads", "addrs": probe_addrs},
+                    {"op": "sleep", "ns": round(r.uniform(50 * US, 200 * US), 1)},
+                    {"op": "loads", "addrs": probe_addrs},
+                    {"op": "sleep", "ns": round(r.uniform(50 * US, 200 * US), 1)},
+                    {"op": "loads", "addrs": probe_addrs}],
+        ))
+        tasks.append(TaskSpec(
+            name=f"t{len(tasks)}", nice=0, pinned_cpu=flood_cpu,
+            kind="script",
+            events=[{"op": "loads", "addrs": flood_addrs},
+                    {"op": "sleep", "ns": round(r.uniform(20 * US, 100 * US), 1)},
+                    {"op": "loads", "addrs": flood_addrs}],
+        ))
+    return tasks
 
 
 def _generate_script(r, index: int, n_tasks: int) -> List[Dict[str, Any]]:
@@ -240,6 +405,9 @@ def _script_gen(events: List[Dict[str, Any]],
             yield act.TimerCancel()
         elif op == "signal":
             yield act.SignalTask(pids[event["target"]])
+        elif op == "loads":
+            for addr in event["addrs"]:
+                yield act.Load(addr)
         elif op == "slack":
             yield act.SetTimerSlack(event["ns"])
         elif op == "spin":
@@ -263,5 +431,8 @@ def build_tasks(spec: WorkloadSpec) -> List[Tuple[Task, TaskSpec]]:
         task = Task(tspec.name, body=body, nice=tspec.nice, pid=pids[i])
         if tspec.pinned_cpu is not None:
             task.pin_to(min(tspec.pinned_cpu, spec.n_cpus - 1))
+        elif tspec.allowed_cpus is not None:
+            task.allowed_cpus = frozenset(
+                min(c, spec.n_cpus - 1) for c in tspec.allowed_cpus)
         out.append((task, tspec))
     return out

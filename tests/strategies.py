@@ -39,3 +39,21 @@ rq_ops = st.lists(
               charge_ns),
     min_size=1, max_size=40,
 )
+
+#: Workload-generator seeds for fuzz-driven properties (small range so
+#: Hypothesis shrinks toward the simplest failing mix).
+workload_seeds = st.integers(min_value=0, max_value=127)
+
+#: Named feature variants from the differential grid (see
+#: repro.validate.workload.FEATURE_VARIANTS).  Listed literally so this
+#: module stays import-light; test_migration_properties asserts the
+#: list matches the source of truth.
+FEATURE_VARIANT_NAMES = [
+    "default",
+    "no-gentle-sleepers",
+    "no-wakeup-preemption",
+    "min-slice-guard",
+    "run-to-parity",
+    "no-place-lag",
+]
+feature_variant_names = st.sampled_from(FEATURE_VARIANT_NAMES)

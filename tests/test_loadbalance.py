@@ -1,11 +1,18 @@
 """Placement and idle-pull balancing (the §4.4 substrate)."""
 
+import random
+
 import pytest
 
 from repro.kernel.threads import ComputeBody
+from repro.sched.cfs import CfsScheduler
+from repro.sched.eevdf import EevdfScheduler
 from repro.sched.loadbalance import LoadBalancer
+from repro.sched.params import SchedParams
 from repro.sched.runqueue import RunQueue
 from repro.sched.task import Task
+
+PARAMS = SchedParams.for_cores(16)
 
 
 def make(name, pinned=None):
@@ -54,6 +61,27 @@ class TestSelectCpu:
         with pytest.raises(ValueError):
             balancer.select_cpu(task)
 
+    def test_idle_tie_break_independent_of_runqueue_order(self):
+        """Several idle CPUs must resolve to the lowest id no matter
+        how the runqueue list happens to be ordered."""
+        for seed in range(8):
+            rqs = [RunQueue(i) for i in range(4)]
+            shuffled = rqs[:]
+            random.Random(seed).shuffle(shuffled)
+            balancer = LoadBalancer(shuffled)
+            rqs[3].add(make("busy"))
+            assert balancer.select_cpu(make("new")) == 0
+
+    def test_loaded_tie_break_independent_of_runqueue_order(self):
+        for seed in range(8):
+            rqs = [RunQueue(i) for i in range(4)]
+            for rq in rqs:
+                rq.add(make(f"a{rq.cpu}"))
+            shuffled = rqs[:]
+            random.Random(seed).shuffle(shuffled)
+            balancer = LoadBalancer(shuffled)
+            assert balancer.select_cpu(make("new")) == 0
+
 
 class TestBalance:
     def test_idle_pulls_from_busiest(self, rqs):
@@ -94,3 +122,81 @@ class TestBalance:
         balancer.balance(now=42.0)
         assert balancer.migrations[0].time == 42.0
         assert task.migrations == 1
+
+
+class TestMigrationRenormalization:
+    """Golden regression for the cross-CPU vruntime rebase
+    (``migrate_task_rq_fair`` semantics): expected post-migration
+    values are spelled out as literals, so any drift in the
+    renormalization arithmetic fails here first."""
+
+    def _overloaded_pair(self, policy):
+        rqs = [RunQueue(0), RunQueue(1)]
+        balancer = LoadBalancer(rqs, policy=policy)
+        curr = make("running")
+        curr.vruntime = 9_000.0
+        rqs[0].current = curr
+        task = make("waiting")
+        task.vruntime = 1_500.0
+        task.last_sleep_vruntime = 1_500.0
+        task.deadline = 2_000.0
+        rqs[0].add(task)
+        return rqs, balancer, task
+
+    def test_cfs_rebases_against_min_vruntime(self):
+        rqs, balancer, task = self._overloaded_pair(CfsScheduler(PARAMS))
+        rqs[0].min_vruntime = 1_000.0
+        rqs[1].min_vruntime = 5_000.0
+        [m] = balancer.balance(now=0.0)
+        # delta = dst.min_vruntime - src.min_vruntime = +4000, applied
+        # to the vruntime, the sleep clamp, and the deadline alike.
+        assert task.vruntime == pytest.approx(5_500.0)
+        assert task.last_sleep_vruntime == pytest.approx(5_500.0)
+        assert task.deadline == pytest.approx(6_000.0)
+        assert m.vruntime_before == pytest.approx(1_500.0)
+        assert m.vruntime_after == pytest.approx(5_500.0)
+
+    def test_eevdf_preserves_lag_against_avg_vruntime(self):
+        rqs, balancer, task = self._overloaded_pair(EevdfScheduler(PARAMS))
+        rqs[1].min_vruntime = 20_000.0  # empty rq: avg == min_vruntime
+        [m] = balancer.balance(now=0.0)
+        # Baselines are taken with the task detached: src avg is the
+        # remaining runner's 9000, dst avg is 20000 ⇒ delta = +11000.
+        assert m.src_avg_vruntime == pytest.approx(9_000.0)
+        assert m.dst_avg_vruntime == pytest.approx(20_000.0)
+        assert task.vruntime == pytest.approx(12_500.0)
+        assert task.last_sleep_vruntime == pytest.approx(12_500.0)
+        assert task.deadline == pytest.approx(13_000.0)
+        lag_before = m.src_avg_vruntime - m.vruntime_before
+        lag_after = m.dst_avg_vruntime - m.vruntime_after
+        assert lag_after == pytest.approx(lag_before)
+
+    def test_destination_min_vruntime_updated_after_attach(self):
+        rqs, balancer, task = self._overloaded_pair(CfsScheduler(PARAMS))
+        rqs[0].min_vruntime = 1_000.0
+        rqs[1].min_vruntime = 5_000.0
+        balancer.balance(now=0.0)
+        # The attached task is the destination's only runnable, so its
+        # rebased vruntime becomes the new (monotonic) min_vruntime.
+        assert rqs[1].min_vruntime == pytest.approx(5_500.0)
+
+    def test_policy_none_models_the_prefix_bug(self):
+        """``policy=None`` is the modeled pre-fix balancer: the task
+        carries its absolute vruntime to the new CPU unchanged."""
+        rqs, balancer, task = self._overloaded_pair(None)
+        rqs[0].min_vruntime = 1_000.0
+        rqs[1].min_vruntime = 5_000.0
+        [m] = balancer.balance(now=0.0)
+        assert task.vruntime == pytest.approx(1_500.0)
+        assert m.vruntime_after == pytest.approx(m.vruntime_before)
+
+    def test_record_snapshots_baselines_and_preconditions(self):
+        rqs, balancer, task = self._overloaded_pair(CfsScheduler(PARAMS))
+        rqs[0].min_vruntime = 1_000.0
+        rqs[1].min_vruntime = 5_000.0
+        [m] = balancer.balance(now=7.0)
+        assert m.src_min_vruntime == pytest.approx(1_000.0)
+        assert m.dst_min_vruntime == pytest.approx(5_000.0)
+        assert m.src_nr_running == 2  # current + the pulled task
+        assert m.was_current is False
+        assert (m.src_cpu, m.dst_cpu, m.time) == (0, 1, 7.0)

@@ -22,8 +22,14 @@ from repro.validate.harness import (
 from repro.validate.shrink import emit_reproducer, shrink_workload
 from repro.validate.workload import WorkloadSpec, generate_workload
 
+# Rebaselined for the cross-CPU migration fairness fix: the balancer
+# now renormalizes vruntime through the policy's migrate hook and
+# charges every runqueue up to `now` before balancing, the generator
+# draws the imbalance profile in the mixed family, and the digest
+# itself now covers migration records and per-task migration counts.
+# All four are intended behaviour changes.
 GOLDEN_DIGEST = (
-    "5f38262b984ea4f6ec0640f2991363489ba9e632a1906b8e2e3901a073acb90e"
+    "672942796513c09da0fa730a2726a3609a9cdf05d156aecb7330a7bc25c3e6ef"
 )
 
 
@@ -58,6 +64,45 @@ def test_golden_campaign_digest():
     report = run_validate(cases=25, seed=42, scheduler="both", jobs=1)
     assert report.ok, report.failures
     assert report.digest == GOLDEN_DIGEST
+
+
+def test_imbalance_profile_is_clean_and_actually_migrates():
+    report = run_validate(cases=10, seed=3, scheduler="both",
+                          profile="imbalance", jobs=1)
+    assert report.ok, report.failures
+    assert report.n_migrations > 0
+
+
+def test_campaign_detects_renormalization_revert():
+    """``skip-migration-renorm`` models reverting the renormalization
+    bugfix; the *default* mixed-profile campaign must fail on it — the
+    fuzzer would have caught the original bug on its own."""
+    report = run_validate(cases=12, seed=7, scheduler="both",
+                          bug="skip-migration-renorm", jobs=1)
+    assert not report.ok
+    names = {i for f in report.failures for i in f.invariants}
+    assert "migration-renormalization" in names
+    assert all(f.shrunk_tasks <= 5 for f in report.failures)
+
+
+def test_llc_leak_campaign_shrinks_to_tiny_reproducers():
+    report = run_validate(cases=6, seed=11, scheduler="both",
+                          profile="imbalance", bug="inclusive-llc-leak",
+                          jobs=1)
+    assert not report.ok
+    names = {i for f in report.failures for i in f.invariants}
+    assert "llc-inclusivity" in names
+    assert all(f.shrunk_tasks <= 5 for f in report.failures)
+
+
+def test_differential_summary_attached_to_failures():
+    report = run_validate(cases=6, seed=11, scheduler="cfs",
+                          profile="imbalance", bug="skip-migration-renorm",
+                          jobs=1, shrink=False, differential=True)
+    assert not report.ok
+    assert any(f.differential for f in report.failures)
+    flat = [line for f in report.failures for line in f.differential]
+    assert any(line.startswith("switches:") for line in flat)
 
 
 def test_case_digest_stable_across_reruns():

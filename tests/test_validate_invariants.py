@@ -8,9 +8,15 @@ and must report, plus one clean run that must stay silent.
 import pytest
 
 from repro.kernel.threads import ComputeBody
-from repro.kernel.tracing import KernelTracer, SwitchRecord, WakeupRecord
+from repro.kernel.tracing import (
+    KernelTracer,
+    MigrationRecord,
+    SwitchRecord,
+    WakeupRecord,
+)
 from repro.sched.cfs import CfsScheduler
 from repro.sched.eevdf import EevdfScheduler
+from repro.sched.loadbalance import Migration
 from repro.sched.params import SchedParams
 from repro.sched.runqueue import RunQueue
 from repro.sched.task import Task, TaskState
@@ -18,10 +24,12 @@ from repro.validate.harness import run_case
 from repro.validate.invariants import (
     InvariantMonitor,
     PolicyProbe,
+    check_migrations,
     check_no_lost_wakeups,
     check_runtime_conservation,
     check_switch_stream,
     check_vruntime_monotonic,
+    ref_migrate_delta,
 )
 from repro.validate.workload import generate_workload
 
@@ -166,6 +174,162 @@ def test_min_vruntime_regression_detected():
 
 
 # ----------------------------------------------------------------------
+# Migration oracles
+# ----------------------------------------------------------------------
+class _SkipRenormCfs(CfsScheduler):
+    def migrate(self, src_rq, dst_rq, task):
+        pass  # the pre-fix bug: absolute vruntime crosses CPUs
+
+
+class _ForgetSleepShiftCfs(CfsScheduler):
+    def migrate(self, src_rq, dst_rq, task):
+        sleep = task.last_sleep_vruntime
+        super().migrate(src_rq, dst_rq, task)
+        task.last_sleep_vruntime = sleep  # clamp state left behind
+
+
+def test_probe_detects_skipped_renormalization():
+    probe, monitor = probed(_SkipRenormCfs)
+    src, dst = RunQueue(0), RunQueue(1)
+    src.min_vruntime = 1_000.0
+    dst.min_vruntime = 9_000.0
+    probe.migrate(src, dst, make_task("t", vruntime=1_500.0))
+    assert "migration-renormalization" in monitor.names()
+
+
+def test_probe_detects_unshifted_sleep_clamp():
+    probe, monitor = probed(_ForgetSleepShiftCfs)
+    src, dst = RunQueue(0), RunQueue(1)
+    src.min_vruntime = 1_000.0
+    dst.min_vruntime = 9_000.0
+    probe.migrate(src, dst, make_task("t", vruntime=1_500.0))
+    assert "migration-renormalization" in monitor.names()
+
+
+@pytest.mark.parametrize("policy_cls", [CfsScheduler, EevdfScheduler])
+def test_probe_clean_migration_is_silent(policy_cls):
+    probe, monitor = probed(policy_cls)
+    src, dst = RunQueue(0), RunQueue(1)
+    src.min_vruntime = 1_000.0
+    dst.min_vruntime = 9_000.0
+    dst.add(make_task("peer", vruntime=9_500.0))
+    probe.migrate(src, dst, make_task("t", vruntime=1_500.0))
+    assert monitor.ok, monitor.violations
+
+
+def _synthetic_migration(task, *, scheduler="cfs", src_min=1_000.0,
+                         dst_min=5_000.0, src_avg=1_200.0,
+                         dst_avg=5_200.0, v_before=1_500.0,
+                         renormalize=True, src_nr=2, was_current=False):
+    delta = ref_migrate_delta(scheduler, src_min, dst_min, src_avg, dst_avg)
+    return Migration(
+        task, 0, 1, 10.0,
+        vruntime_before=v_before,
+        vruntime_after=v_before + (delta if renormalize else 0.0),
+        src_min_vruntime=src_min, dst_min_vruntime=dst_min,
+        src_avg_vruntime=src_avg, dst_avg_vruntime=dst_avg,
+        src_nr_running=src_nr, was_current=was_current,
+    )
+
+
+def _traced(migrations):
+    tracer = KernelTracer()
+    for m in migrations:
+        tracer.record_migration(MigrationRecord(
+            m.time, m.src_cpu, m.dst_cpu, m.task.pid,
+            m.vruntime_before, m.vruntime_after))
+    return tracer
+
+
+@pytest.mark.parametrize("scheduler", ["cfs", "eevdf"])
+def test_clean_migration_record_passes_all_oracles(scheduler):
+    task = make_task("t")
+    task.migrations = 1
+    m = _synthetic_migration(task, scheduler=scheduler)
+    assert check_migrations([m], _traced([m]), [task], scheduler) == []
+
+
+@pytest.mark.parametrize("scheduler", ["cfs", "eevdf"])
+def test_unrenormalized_record_detected(scheduler):
+    task = make_task("t")
+    task.migrations = 1
+    m = _synthetic_migration(task, scheduler=scheduler, renormalize=False)
+    names = {v.invariant
+             for v in check_migrations([m], _traced([m]), [task], scheduler)}
+    # The skipped rebase both breaks the arithmetic and inflates the
+    # task's lag on the destination.
+    assert "migration-renormalization" in names
+    assert "migration-bounded-lag" in names
+
+
+def test_underloaded_donor_detected():
+    task = make_task("t")
+    task.migrations = 1
+    m = _synthetic_migration(task, src_nr=1)
+    names = {v.invariant
+             for v in check_migrations([m], _traced([m]), [task], "cfs")}
+    assert "migration-donor-overloaded" in names
+
+
+def test_migration_of_running_task_detected():
+    task = make_task("t")
+    task.migrations = 1
+    m = _synthetic_migration(task, was_current=True)
+    names = {v.invariant
+             for v in check_migrations([m], _traced([m]), [task], "cfs")}
+    assert "migration-of-current" in names
+
+
+def test_migration_outside_affinity_detected():
+    task = make_task("t")
+    task.migrations = 1
+    task.pin_to(0)  # dst_cpu is 1
+    m = _synthetic_migration(task)
+    names = {v.invariant
+             for v in check_migrations([m], _traced([m]), [task], "cfs")}
+    assert "migration-pinned" in names
+
+
+def test_migration_count_mismatch_with_trace_detected():
+    task = make_task("t")
+    task.migrations = 1
+    m = _synthetic_migration(task)
+    names = {v.invariant
+             for v in check_migrations([m], KernelTracer(), [task], "cfs")}
+    assert "migration-count-conservation" in names
+
+
+def test_migration_count_mismatch_with_task_detected():
+    task = make_task("t")
+    task.migrations = 0  # balancer says 1
+    m = _synthetic_migration(task)
+    names = {v.invariant
+             for v in check_migrations([m], _traced([m]), [task], "cfs")}
+    assert "migration-count-conservation" in names
+
+
+def test_vruntime_drop_across_migration_tolerated():
+    """Renormalizing onto a lagging CPU legally rewinds the absolute
+    vruntime; the monotonic oracle must reset at the migration."""
+    tracer = KernelTracer(sample_vruntime=True)
+    tracer.record_vruntime(1.0, 100, 5_000.0)
+    tracer.record_migration(MigrationRecord(1.5, 0, 1, 100,
+                                            5_000.0, 2_000.0))
+    tracer.record_vruntime(2.0, 100, 2_000.0)
+    assert check_vruntime_monotonic(tracer) == []
+
+
+def test_vruntime_drop_without_own_migration_still_detected():
+    tracer = KernelTracer(sample_vruntime=True)
+    tracer.record_vruntime(1.0, 100, 5_000.0)
+    # Another task migrating must not excuse pid 100's regression.
+    tracer.record_migration(MigrationRecord(1.5, 0, 1, 999, 0.0, 0.0))
+    tracer.record_vruntime(2.0, 100, 4_000.0)
+    violations = check_vruntime_monotonic(tracer)
+    assert [v.invariant for v in violations] == ["vruntime-monotonic"]
+
+
+# ----------------------------------------------------------------------
 # Post-hoc trace oracles
 # ----------------------------------------------------------------------
 def test_vruntime_regression_in_trace_detected():
@@ -258,3 +422,26 @@ def test_injected_bug_caught_by_expected_invariant(bug, invariant):
         outcome = run_case(generate_workload(seed, n_cpus=2), "cfs", bug=bug)
         caught.update(outcome.invariants)
     assert invariant in caught
+
+
+@pytest.mark.parametrize("scheduler", ["cfs", "eevdf"])
+def test_migration_renorm_bug_caught_end_to_end(scheduler):
+    """The kernel-level bug (balancer skips the policy's migrate hook)
+    must be caught on the migration-forcing imbalance profile."""
+    caught = set()
+    for seed in range(24):
+        spec = generate_workload(seed, n_cpus=2, profile="imbalance")
+        caught |= set(run_case(spec, scheduler,
+                               bug="skip-migration-renorm").invariants)
+        if "migration-renormalization" in caught:
+            break
+    assert "migration-renormalization" in caught
+    assert "migration-bounded-lag" in caught
+
+
+def test_clean_imbalance_cases_have_no_violations():
+    for seed in range(6):
+        spec = generate_workload(seed, n_cpus=2, profile="imbalance")
+        for scheduler in ("cfs", "eevdf"):
+            outcome = run_case(spec, scheduler)
+            assert outcome.ok, outcome.violations
