@@ -27,7 +27,12 @@ Observability (see docs/OBSERVABILITY.md):
   from which ``repro replay`` re-executes it bit-identically;
 * ``--metrics`` prints a metrics table after the run; ``--trace FILE``
   records a Perfetto-loadable Chrome trace of the schedule;
-* ``--progress`` shows live per-cell progress for parallel sweeps.
+* ``--progress`` shows live per-cell progress for parallel sweeps;
+* repeated cells are served from a content-addressed result cache under
+  ``<manifest-dir>/cellcache`` (every experiment is a pure function of
+  its recorded params, so a key hit is bit-identical to a recompute);
+  ``--no-cell-cache`` forces recomputation, ``--cell-cache-dir DIR``
+  relocates the store, and ``repro replay`` always bypasses it.
 """
 
 from __future__ import annotations
@@ -268,6 +273,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         profile=args.profile,
         differential=args.differential,
         uarch_cases=args.uarch_cases,
+        ff_cases=args.ff_cases,
     )
     total = args.cases * len(report.schedulers)
     print(f"{total} cases on {'/'.join(report.schedulers)} "
@@ -279,6 +285,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     if args.uarch_cases:
         print(f"plus {args.uarch_cases} scripted cache/TLB differential "
               "case(s)")
+    if args.ff_cases:
+        print(f"plus {args.ff_cases} fast-forward certification case(s)")
     print(f"campaign digest: {report.digest[:16]}…")
     if report.ok:
         if args.inject_bug:
@@ -343,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="where run manifests are written (default: runs/)")
     parser.add_argument("--no-manifest", action="store_true",
                         help="do not write a run manifest")
+    parser.add_argument("--cell-cache-dir", default=None, metavar="DIR",
+                        help="content-addressed cell-result cache location "
+                             "(default: <manifest-dir>/cellcache)")
+    parser.add_argument("--no-cell-cache", action="store_true",
+                        help="always recompute cells, never serve them "
+                             "from the cache")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("resolution", help="Fig 4.3/4.7 histogram cell")
@@ -443,6 +457,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--uarch-cases", type=int, default=0, metavar="N",
                    help="append N scripted cache/TLB differential cases "
                         "(machine vs brute-force reference model)")
+    p.add_argument("--ff-cases", type=int, default=0, metavar="N",
+                   help="append N fast-forward certification cases "
+                        "(arithmetic fast paths vs the per-instruction "
+                        "interpreter)")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip minimizing failing cases")
     # Accept the global --seed/--jobs after the verb too (SUPPRESS keeps
@@ -476,6 +494,15 @@ def _configure_obs(args: argparse.Namespace) -> None:
     _set("REPRO_PROGRESS", bool(getattr(args, "progress", False)))
     manifest_dir = None if args.no_manifest else args.manifest_dir
     _set("REPRO_MANIFEST_DIR", manifest_dir is not None, manifest_dir or "")
+    # Cell cache rides with the manifests by default (same trust
+    # domain, same directory tree); --no-cell-cache wins over both the
+    # default and an explicit --cell-cache-dir.
+    cache_dir = getattr(args, "cell_cache_dir", None)
+    if cache_dir is None and manifest_dir is not None:
+        cache_dir = os.path.join(manifest_dir, "cellcache")
+    if getattr(args, "no_cell_cache", False):
+        cache_dir = None
+    _set("REPRO_CELL_CACHE_DIR", cache_dir is not None, cache_dir or "")
     obs_mod.reset()
 
 

@@ -76,6 +76,17 @@ class Core:
         self._last_fetch_page: Optional[int] = None
         self._pipeline_cold = True
         self._warmup_remaining = latency.frontend_warmup_insts
+        #: Master switch for every arithmetic fast path (steady, loop,
+        #: periodic, uniform bulk retire).  Differential tests disable
+        #: it to run the pure per-instruction interpreter as the
+        #: bit-identity reference.
+        self.fast_forward = True
+        # Memoized footprint certificate: (key, l1i.version,
+        # itlb.version) of the last successful residency proof.  Version
+        # counters only advance when lines *leave* a level, so equal
+        # versions re-certify the whole footprint in O(1) instead of
+        # re-probing every line and page per preemption window.
+        self._ff_cert: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Context switching hooks
@@ -183,25 +194,44 @@ class Core:
         """
         t = start
         retired = 0
+        fast = self.fast_forward
         while t < deadline:
-            steady = self._try_steady_fast_forward(asid, program, t, deadline)
-            if steady:
-                count, t = steady
-                program.retire_bulk(count)
-                self.stats.instructions_retired += count
-                retired += count
-                continue
-            bulk_loops = self._try_loop_fast_forward(asid, program, t, deadline)
-            if bulk_loops:
-                loops, elapsed = bulk_loops
-                profile = program.loop_profile(program.retired)
-                assert profile is not None
-                count = loops * profile.insts_per_loop
-                program.retired += count
-                self.stats.instructions_retired += count
-                retired += count
-                t += elapsed
-                continue
+            if fast:
+                if self._warmup_remaining > 0:
+                    warm = self._try_warmup_fast_forward(
+                        asid, program, t, deadline
+                    )
+                    if warm:
+                        count, t = warm
+                        program.retire_bulk(count)
+                        self.stats.instructions_retired += count
+                        retired += count
+                        continue
+                steady = self._try_steady_fast_forward(asid, program, t, deadline)
+                if steady:
+                    count, t = steady
+                    program.retire_bulk(count)
+                    self.stats.instructions_retired += count
+                    retired += count
+                    continue
+                periodic = self._try_periodic_fast_forward(
+                    asid, program, t, deadline
+                )
+                if periodic:
+                    count, t = periodic
+                    retired += count  # retirement applied internally
+                    continue
+                bulk_loops = self._try_loop_fast_forward(asid, program, t, deadline)
+                if bulk_loops:
+                    loops, elapsed = bulk_loops
+                    profile = program.loop_profile(program.retired)
+                    assert profile is not None
+                    count = loops * profile.insts_per_loop
+                    program.retired += count
+                    self.stats.instructions_retired += count
+                    retired += count
+                    t += elapsed
+                    continue
             inst = program.current()
             if inst is None:
                 return retired, t  # program finished before the interrupt
@@ -211,7 +241,7 @@ class Core:
             retired += 1
             if t >= deadline:
                 break
-            run = program.uniform_region_length(program.retired)
+            run = program.uniform_region_length(program.retired) if fast else 0
             if run > 1 and not inst.fenced and self._warmup_remaining == 0:
                 per_inst = self._base_inst_ns
                 budget = int((deadline - t) / per_inst)
@@ -258,6 +288,11 @@ class Core:
             return None
         per_inst = self._base_inst_ns
         idx0 = program.retired
+        twin = program.steady_twin
+        if twin is not None:
+            # The program ships a specialized twin with the same float
+            # sequence inlined; the generic loop below is the reference.
+            return twin(idx0, t, deadline, per_inst, certified)
         idx = idx0
         while t < deadline:
             loop = program.loop_profile(idx)
@@ -290,13 +325,200 @@ class Core:
             return None
         return count, t
 
+    def _try_warmup_fast_forward(
+        self, asid: int, program: Program, t: float, deadline: float
+    ):
+        """Arithmetic twin for the frontend warm-up phase of a steady
+        window.
+
+        Every preemption window starts with ``frontend_warmup_insts``
+        per-instruction executes whose only timing content — once the
+        program certifies a uniform steady stream and the loop footprint
+        is proven resident — is ``base + frontend_warmup_extra`` cycles
+        each (plus ``pipeline_refill`` on the first), because a resident
+        footprint makes every fetch free and a steady stream has no
+        memory operands, fences or mispredicting transfers.  The twin
+        re-adds exactly the per-instruction costs :meth:`execute` would
+        have produced (same floats, same order), finishing with the
+        uniform-line bulk retire that ``run_program`` performs inside
+        the final warm-up iteration, so the optimized path's float
+        sequence is unchanged.  Like every forwarded window it skips
+        recency touches, hit/miss counters and the loop-back jump's BTB
+        refresh (see ARCHITECTURE.md's fast-forward drift contract).
+
+        Returns ``(instructions, end_time_ns)`` or None.
+        """
+        n = self._warmup_remaining
+        if n < 1:
+            return None
+        idx0 = program.retired
+        state = program.steady_state(idx0)
+        if state is None:
+            return None
+        profile, remaining = state
+        if remaining is not None and remaining < n + 1:
+            return None  # stream may end mid-warm-up: execute() decides
+        if not self._footprint_resident(asid, profile):
+            return None
+        lat = self.latency
+        warm_ns = cycles_to_ns(float(lat.base_inst + lat.frontend_warmup_extra))
+        executed = 0
+        if self._pipeline_cold:
+            t += cycles_to_ns(float(
+                lat.base_inst + lat.pipeline_refill + lat.frontend_warmup_extra
+            ))
+            self._pipeline_cold = False
+            executed = 1
+        while executed < n and t < deadline:
+            t += warm_ns
+            executed += 1
+        self._warmup_remaining = n - executed
+        if executed < 1:
+            return None
+        last = program.instruction_at(idx0 + executed - 1)
+        self._last_fetch_page = last.pc >> _PAGE_SHIFT
+        self._last_fetch_line = last.pc & _FETCH_LINE_MASK
+        idx = idx0 + executed
+        if executed == n and t < deadline:
+            # The final warm-up iteration of the per-instruction loop
+            # ends with ``_warmup_remaining == 0``, so run_program's
+            # uniform bulk retire fires before the steady twin engages;
+            # reproduce it operation-for-operation.
+            run = program.uniform_region_length(idx)
+            if run > 1:
+                per_inst = self._base_inst_ns
+                budget = int((deadline - t) / per_inst)
+                bulk = min(run, max(budget, 0))
+                if bulk > 0:
+                    idx += bulk
+                    t += bulk * per_inst
+        return idx - idx0, t
+
     def _footprint_resident(self, asid: int, profile) -> bool:
-        """Every loop line in this core's L1I, every page translated."""
+        """Every loop line in this core's L1I, every page translated.
+
+        A successful proof is memoized against the L1I/iTLB version
+        counters: versions only advance when an entry is removed, and
+        removals are the only way a resident footprint can stop being
+        resident, so unchanged versions re-certify in O(1).
+        """
         l1i = self.hierarchy.l1i[self.core_id]
-        if not all(l1i.contains(line) for line in profile.line_addrs):
-            return False
         itlb = self.tlbs.itlb[self.core_id]
-        return all(itlb.contains(asid, vpn) for vpn in profile.page_vpns)
+        key = (asid, profile.base_pc, profile.insts_per_loop)
+        cert = self._ff_cert
+        if (cert is not None and cert[0] == key
+                and cert[1] == l1i.version and cert[2] == itlb.version):
+            return True
+        if not (l1i.contains_all(profile.line_addrs)
+                and itlb.contains_all(asid, profile.page_vpns)):
+            return False
+        self._ff_cert = (key, l1i.version, itlb.version)
+        return True
+
+    def _try_periodic_fast_forward(
+        self, asid: int, program: Program, t: float, deadline: float
+    ):
+        """Measured fixed-point fast-forward for exactly periodic streams.
+
+        Engages when the program certifies a cyclic period
+        (:meth:`Program.period_hint`) — branchy loops, prefetcher-active
+        windows — where per-slot uniformity does not hold.  The core
+
+        1. executes one full period per-instruction to settle entry
+           effects (fetch locality, BTB warm-up, prefetch fills),
+        2. executes and *measures* a second period, recording each
+           instruction's exact float cost and snapshotting every level's
+           version counter, demand miss counters, the mispredict count
+           and the touched BTB entries around it,
+        3. if the measured period left all of those unchanged, the uarch
+           state is a fixed point over the period: every subsequent full
+           period costs the identical float sequence, so it is replayed
+           by re-adding the recorded costs (bit-exact — the same
+           additions in the same order) with zero microarchitectural
+           work.
+
+        Whole periods only: the partial period at the deadline falls
+        back to per-instruction execution, so the final machine state is
+        reached through real executes and matches the slow path exactly.
+        Measurement itself *is* real execution, so a failed certificate
+        costs nothing but the snapshot comparison.
+
+        Returns ``(instructions, end_time)`` with retirement and stats
+        already applied, or None if the fast path did not engage at all.
+        """
+        if self._pipeline_cold or self._warmup_remaining > 0:
+            return None
+        idx0 = program.retired
+        period = program.period_hint(idx0)
+        if period is None or period < 2:
+            return None
+        # The window must plausibly cover warm-up + measurement + at
+        # least one replayed period, or measurement buys nothing.
+        if deadline - t < 3.0 * period * self._base_inst_ns:
+            return None
+        executed = 0
+        execute = self.execute
+        retire = program.retire
+        current = program.current
+        # Period 1: warm.  Entry fetch locality / BTB state differ from
+        # the steady phase, so this period is not representative.
+        for _ in range(period):
+            inst = current()
+            if inst is None:
+                return (executed, t) if executed else None
+            t += execute(asid, inst)
+            retire()
+            executed += 1
+            if t >= deadline:
+                return executed, t
+        hierarchy = self.hierarchy
+        cid = self.core_id
+        l1i = hierarchy.l1i[cid]
+        l1d = hierarchy.l1d[cid]
+        l2 = hierarchy.l2[cid]
+        llc = hierarchy.llc
+        itlb = self.tlbs.itlb[cid]
+        stlb = self.tlbs.stlb[cid]
+        levels = (l1i, l1d, l2, llc, itlb, stlb)
+        pcs = program.period_pcs(program.retired)
+        pre = tuple(v for lvl in levels for v in (lvl.version, lvl.misses))
+        pre_mispredicts = self.stats.mispredicts
+        pre_btb = self.btb.snapshot(pcs)
+        # Period 2: measure.
+        costs = []
+        append = costs.append
+        for _ in range(period):
+            inst = current()
+            if inst is None:
+                return executed, t
+            cost = execute(asid, inst)
+            t += cost
+            retire()
+            executed += 1
+            append(cost)
+            if t >= deadline:
+                return executed, t
+        post = tuple(v for lvl in levels for v in (lvl.version, lvl.misses))
+        if (post != pre or self.stats.mispredicts != pre_mispredicts
+                or self.btb.snapshot(pcs) != pre_btb):
+            return executed, t  # no fixed point; the slow path continues
+        remaining = program.instructions_remaining(program.retired)
+        replayed = 0
+        while remaining is None or replayed + period <= remaining:
+            tentative = t
+            for c in costs:
+                tentative += c
+            if tentative > deadline:
+                break
+            t = tentative
+            replayed += period
+            if t >= deadline:
+                break
+        if replayed:
+            program.retire_bulk(replayed)
+            self.stats.instructions_retired += replayed
+            executed += replayed
+        return executed, t
 
     def _try_loop_fast_forward(
         self, asid: int, program: Program, t: float, deadline: float
@@ -346,15 +568,31 @@ class Core:
 
     def speculate(self, asid: int, program: Program, window: int) -> None:
         """Issue cache effects for up to ``window`` unretired instructions."""
-        last_retired = program.instruction_at(program.retired - 1)
+        retired = program.retired
+        state = program.steady_state(retired)
+        if state is not None and (
+                state[1] is None or state[1] >= window):
+            # Certified-uniform stream ahead: every instruction in the
+            # window is a base-cost (non-memory, unfenced) op, so the
+            # scan below would collect nothing.  The victim loops of
+            # §4.3 hit this on every preemption.
+            return
+        last_retired = program.instruction_at(retired - 1)
         if last_retired is not None and last_retired.fenced:
             return
+        addrs = []
         for offset in range(window):
             inst = program.instruction_at(program.retired + offset)
             if inst is None:
-                return
+                break
             if inst.fenced:
                 # An lfence after the load serializes: neither this load
                 # nor anything younger issues before the squash lands.
-                return
-            self.issue_speculative(asid, inst)
+                break
+            if inst.kind.is_memory and inst.mem_addr is not None:
+                addrs.append(inst.mem_addr)
+        if addrs:
+            # One batched walk issues the same accesses in the same
+            # order as per-instruction issue_speculative calls.
+            self.hierarchy.access_many(self.core_id, addrs, kind="data")
+            self.stats.speculative_issues += len(addrs)

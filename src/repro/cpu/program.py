@@ -21,7 +21,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.cpu.isa import Instruction, InstrKind
+from repro.cpu.isa import Instruction, InstrKind, branch, nop
+from repro.uarch.timing import cycles_to_ns
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,30 @@ class Program(ABC):
         unbounded stream.  The executor verifies residency before
         trusting the profile.  Default: none (no fast path).
         """
+        return None
+
+    #: Optional specialized arithmetic twin for the steady fast-forward
+    #: (see :meth:`StraightlineProgram.steady_twin`).  ``None`` means
+    #: the executor runs its generic twin loop instead.
+    steady_twin = None
+
+    def period_hint(self, index: int) -> Optional[int]:
+        """Length of the repeating dynamic-instruction period at
+        ``index``, for programs whose stream is exactly cyclic (branchy
+        loops with a fixed taken pattern).  The executor uses it to
+        *measure* one period per-instruction and, once the uarch state
+        proves to be a fixed point over the period, replay subsequent
+        periods arithmetically.  Default: none (no periodic fast path).
+        """
+        return None
+
+    def period_pcs(self, index: int) -> Tuple[int, ...]:
+        """Distinct PCs touched by one period (BTB fixed-point check)."""
+        return ()
+
+    def instructions_remaining(self, index: int) -> Optional[int]:
+        """Instructions left in the stream from ``index`` (None =
+        unbounded).  Periodic replay never advances past this bound."""
         return None
 
 
@@ -252,3 +277,246 @@ class StraightlineProgram(Program):
         if profile is None:
             return None
         return profile, remaining
+
+    def steady_twin(self, idx0: int, t: float, deadline: float,
+                    per_inst: float, certified: Optional[int]):
+        """Specialized arithmetic twin of the executor's steady
+        fast-forward loop.
+
+        Performs the *exact* float-accumulation sequence the generic
+        twin in ``Core._try_steady_fast_forward`` would perform for this
+        program — chunk-head additions, uniform-line bulk multiplies and
+        whole-loop multiplies, in the same order — but with the loop
+        structure (line length, loop length, stream bound) inlined as
+        local integers instead of rediscovered through ``loop_profile``
+        / ``uniform_region_length`` calls per cache line.  The generic
+        twin *is* the hottest region of the tau-sweep profile; this
+        method replaces ~70 Python method calls per preemption window
+        with straight int/float arithmetic while staying bit-identical
+        (EEVDF eligibility amplifies even ULP drift into different
+        preemption counts).
+
+        Returns ``(instructions, end_time_ns)`` or None, exactly like
+        the generic loop.
+        """
+        loop_insts = self.loop_insts
+        per_line = 64 // self.inst_size
+        total = self.total
+        per_loop = cycles_to_ns(float(loop_insts))
+        two_loops = 2 * per_loop
+        idx = idx0
+        if total is None:
+            # Unbounded stream (the §4.3 resolution victim) — the hot
+            # case.  ``certified`` is always None here (steady_state
+            # returns an unbounded remaining), so the stream-bound and
+            # certification checks vanish; the loop slot is tracked
+            # incrementally instead of recomputed as ``idx %
+            # loop_insts`` (idx grows without bound, making that modulo
+            # a long-int division); and the per-line deadline budget is
+            # resolved with one float multiply in the common case — if
+            # ``(run+1) * per_inst`` still fits in the window then
+            # ``int(window / per_inst) >= run`` certainly holds (run is
+            # tiny, so one spare per_inst dwarfs the rounding error of
+            # correctly-rounded IEEE ops), and the division that the
+            # reference performs would have returned ``bulk = run``
+            # anyway.  Every ``t`` update below is operation-for-
+            # operation the sequence the generic loop performs.
+            last_bulk_slot = loop_insts - 1  # stop before the loop jump
+            full_run = per_line - 1
+            full_bulk = full_run * per_inst   # == run * per_inst, run full
+            full_guard = per_line * per_inst  # == (run + 1) * per_inst
+            # Conservative routing guard for the tight two-add loop
+            # below: when the window still holds per_line + 3 base
+            # instructions, the chunk head cannot straddle the deadline
+            # and the full-line bulk guard certainly passes, so the
+            # per-line decisions are forced and only the two float adds
+            # remain.  Routing compares never touch ``t`` itself.
+            tight_guard = (per_line + 3) * per_inst
+            # Last line boundary whose bulk is still a full run (the
+            # final line stops one short of the loop-back jump).
+            last_tight = loop_insts - 2 * per_line
+            slot = idx % loop_insts
+            while t < deadline:
+                if slot == 0:
+                    window = deadline - t
+                    if window >= two_loops:
+                        loops = int(window / per_loop)
+                        idx += loops * loop_insts
+                        t += loops * per_loop
+                        continue
+                elif not slot % per_line:
+                    # Tight loop over consecutive full warm lines: each
+                    # line is exactly one chunk-head add plus one bulk
+                    # add of the precomputed full-line product — the
+                    # identical op pair the generic path performs when
+                    # its (forced, see tight_guard above) decisions all
+                    # take the full-line branch.  Slot never wraps here
+                    # (last_tight keeps the loop-back jump line out).
+                    while slot <= last_tight and deadline - t >= tight_guard:
+                        t += per_inst
+                        t += full_bulk
+                        idx += per_line
+                        slot += per_line
+                t += per_inst  # chunk-head instruction (line warm)
+                idx += 1
+                slot += 1
+                if slot == loop_insts:
+                    slot = 0
+                if t >= deadline:
+                    break
+                rem = slot % per_line
+                if rem:
+                    run = per_line - rem
+                    stop = last_bulk_slot - slot
+                    if run > stop:
+                        run = stop
+                    if run > 1:
+                        if run == full_run and full_guard <= deadline - t:
+                            # Full warm line with headroom: the two
+                            # precomputed constants are the identical
+                            # float products the generic ops produce.
+                            idx += run
+                            slot += run
+                            t += full_bulk
+                        elif (run + 1) * per_inst <= deadline - t:
+                            idx += run
+                            slot += run
+                            t += run * per_inst
+                        else:
+                            budget = int((deadline - t) / per_inst)
+                            bulk = (run if run < budget
+                                    else (budget if budget > 0 else 0))
+                            if bulk > 0:
+                                idx += bulk
+                                slot += bulk
+                                t += bulk * per_inst
+            count = idx - idx0
+            if count < 1:
+                return None
+            return count, t
+        while t < deadline:
+            if idx % loop_insts == 0:
+                max_loops = (total - idx) // loop_insts
+                if max_loops >= 1:
+                    window = deadline - t
+                    if window >= two_loops:
+                        loops = int(window / per_loop)
+                        if loops > max_loops:
+                            loops = max_loops
+                        if loops >= 1:
+                            idx += loops * loop_insts
+                            t += loops * per_loop
+                            continue
+            if certified is not None and idx - idx0 >= certified:
+                break
+            t += per_inst  # chunk-head instruction (line warm: base cost)
+            idx += 1
+            if t >= deadline:
+                break
+            # uniform_region_length(idx), inlined
+            if idx >= total:
+                run = 0
+            else:
+                slot = idx % loop_insts
+                rem = slot % per_line
+                if rem == 0:
+                    run = 0
+                else:
+                    run = per_line - rem
+                    stop = loop_insts - 1 - slot
+                    if run > stop:
+                        run = stop
+                    if run > total - idx:
+                        run = total - idx
+            if run > 1:
+                budget = int((deadline - t) / per_inst)
+                bulk = min(run, budget if budget > 0 else 0)
+                if bulk > 0:
+                    idx += bulk
+                    t += bulk * per_inst
+        count = idx - idx0
+        if count < 1:
+            return None
+        return count, t
+
+
+class PeriodicProgram(Program):
+    """Unbounded cyclic repetition of a finite instruction block.
+
+    Models branchy victims whose dynamic stream is exactly periodic: a
+    loop body with conditional branches following a fixed per-iteration
+    taken pattern (unroll the pattern into the block if it spans several
+    iterations).  Unlike :class:`StraightlineProgram` the block's
+    instructions are *not* uniform-cost — branches mispredict until the
+    BTB warms, taken branches trigger target-line prefetches, loads hit
+    or miss — so the slot-level fast paths stay off and the executor's
+    *periodic* fast-forward handles it instead: measure one period,
+    certify the uarch state as a fixed point, replay.
+    """
+
+    def __init__(self, block: List[Instruction], total: Optional[int] = None,
+                 name: str = "periodic"):
+        super().__init__()
+        if not block:
+            raise ValueError("empty block")
+        self.name = name
+        self.block = list(block)
+        self.period = len(self.block)
+        self.total = total
+        # Distinct PCs in block order, for BTB fixed-point snapshots.
+        self._pcs = tuple(dict.fromkeys(i.pc for i in self.block))
+
+    def instruction_at(self, index: int) -> Optional[Instruction]:
+        if self.total is not None and index >= self.total:
+            return None
+        return self.block[index % self.period]
+
+    def period_hint(self, index: int) -> Optional[int]:
+        if self.total is not None and self.total - index < self.period:
+            return None
+        return self.period
+
+    def period_pcs(self, index: int) -> Tuple[int, ...]:
+        return self._pcs
+
+    def instructions_remaining(self, index: int) -> Optional[int]:
+        if self.total is None:
+            return None
+        return self.total - index
+
+
+def make_branchy_loop(
+    base_pc: int = 0x400000,
+    *,
+    n_lines: int = 4,
+    taken_pattern: Tuple[bool, ...] = (True, False, True, True),
+    inst_size: int = 4,
+    total: Optional[int] = None,
+) -> PeriodicProgram:
+    """Branchy §4.3-style victim: ``n_lines`` cache lines of code where
+    each line ends in a conditional branch to the next line (taken per
+    ``taken_pattern``, not-taken falls through to the same place), and
+    the last line jumps back to the top.
+
+    Taken branches allocate BTB entries whose predictions trigger
+    target-line prefetches on every subsequent iteration — a
+    prefetcher-active, mispredict-warming window that defeats the
+    uniform-stream fast path and exercises the periodic one.
+    """
+    per_line = 64 // inst_size
+    block: List[Instruction] = []
+    for ln in range(n_lines):
+        line_base = base_pc + ln * 64
+        for slot in range(per_line - 1):
+            block.append(nop(line_base + slot * inst_size, size=inst_size))
+        branch_pc = line_base + (per_line - 1) * inst_size
+        next_line = base_pc if ln == n_lines - 1 else line_base + 64
+        if ln == n_lines - 1:
+            block.append(Instruction(pc=branch_pc, kind=InstrKind.JMP,
+                                     target=base_pc, size=inst_size))
+        else:
+            taken = taken_pattern[ln % len(taken_pattern)]
+            # Both arms resume at the next line: the branch direction
+            # changes BTB/prediction behaviour, not the code path.
+            block.append(branch(branch_pc, next_line, taken))
+    return PeriodicProgram(block, total=total, name="branchy_loop")

@@ -65,9 +65,20 @@ class CostModel:
     def __init__(self, rng: RngStreams, params: CostParams = CostParams()):
         self.rng = rng
         self.params = params
+        # Memoized bound draw methods: every switch/wake draws several
+        # costs, and resolving stream-name → Random → bound method per
+        # draw was measurable in the sweep profile.  The bound methods
+        # pull from the same memoized Random instances, so the draw
+        # sequences are unchanged.
+        self._gauss_draws: dict = {}
+        self._slack_draw = None
 
     def _draw(self, stream: str, mean: float, sd: float) -> float:
-        value = self.rng.gauss(stream, mean, sd)
+        gauss = self._gauss_draws.get(stream)
+        if gauss is None:
+            gauss = self.rng.stream(stream).gauss
+            self._gauss_draws[stream] = gauss
+        value = gauss(mean, sd)
         # Costs are physically positive; clamp the rare deep-left tail.
         return max(value, mean * 0.25)
 
@@ -108,7 +119,10 @@ class CostModel:
         """
         if slack_ns <= 1.0:
             return 0.0
-        return self.rng.uniform("cost.slack", 0.0, slack_ns)
+        draw = self._slack_draw
+        if draw is None:
+            draw = self._slack_draw = self.rng.stream("cost.slack").uniform
+        return draw(0.0, slack_ns)
 
     def expected_round_trip(self) -> float:
         """Mean overhead of one nap→wake→preempt cycle (no jitter);

@@ -27,7 +27,8 @@ global pick, even if a third queued thread has a smaller vruntime.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cpu.machine import Machine
 from repro.kernel import actions as act
@@ -119,7 +120,14 @@ class _CpuState:
 
 
 class _KernelExecContext(ExecContext):
-    """ExecContext implementation bound to one (kernel, cpu, task)."""
+    """ExecContext implementation bound to one (kernel, cpu, task).
+
+    The kernel keeps one pooled instance per CPU and rebinds ``task``/
+    ``asid`` per body invocation (see ``Kernel._ctx``): bodies use the
+    context transiently, and two bodies never run on one CPU at once.
+    """
+
+    __slots__ = ("kernel", "cpu", "task", "core", "asid")
 
     def __init__(self, kernel: "Kernel", cpu: int, task: Task):
         self.kernel = kernel
@@ -297,6 +305,24 @@ class Kernel:
         if self._tracing:
             for c in range(machine.n_cores):
                 self._trace.process_name(c, f"cpu{c}")
+        # Prebound per-CPU dispatch callbacks: _schedule_dispatch is the
+        # hottest scheduling site in the kernel, and allocating a fresh
+        # closure per dispatch showed up in the sweep profile.
+        self._dispatch_cbs = [partial(self._dispatch, c)
+                              for c in range(machine.n_cores)]
+        self._finish_labels = [f"finish_switch{c}"
+                               for c in range(machine.n_cores)]
+        # Precompiled kernel-footprint touchers, keyed by (cpu, offset):
+        # the switch path walks one of 8 rotating line windows, so each
+        # (cpu, offset, kind) walk is resolved to set buckets once (see
+        # MemoryHierarchy.make_line_toucher) and reused thereafter.
+        self._kfoot_touchers: Dict[Tuple[int, int], Tuple] = {}
+        # One pooled ExecContext per CPU (rebound per body invocation)
+        # and the prebound kfoot window draw — both allocation-rate
+        # fixes for the switch path.
+        self._exec_ctxs: List[Optional[_KernelExecContext]] = \
+            [None] * machine.n_cores
+        self._kfoot_draw = self.rng.stream("kfoot").randrange
         self._balance_armed = False
         if self.config.enable_load_balancer and machine.n_cores > 1:
             self._balance_armed = True
@@ -364,15 +390,18 @@ class Kernel:
         """Advance the simulation until ``predicate()`` holds, the event
         heap drains, or ``max_time``/``max_events`` is hit."""
         events = 0
+        sim = self.sim
+        peek = sim.peek_next_time
+        step = sim.step
         while True:
             if predicate is not None and predicate():
                 return
-            next_time = self.sim.peek_next_time()
+            next_time = peek()
             if next_time is None:
                 return
             if max_time is not None and next_time > max_time:
                 return
-            self.sim.step()
+            step()
             events += 1
             if events >= max_events:
                 raise RuntimeError("kernel.run_until exceeded max_events")
@@ -428,6 +457,22 @@ class Kernel:
     # ------------------------------------------------------------------
     # Dispatch machinery
     # ------------------------------------------------------------------
+    def _ctx(self, cpu: int, task: Task) -> _KernelExecContext:
+        """Pooled per-CPU ExecContext, rebound to ``task``.
+
+        Bodies only use the context for the duration of one ``run`` /
+        ``on_preempted`` call and one CPU runs one body at a time, so a
+        single instance per CPU replaces a per-invocation allocation.
+        """
+        ctx = self._exec_ctxs[cpu]
+        if ctx is None:
+            ctx = _KernelExecContext(self, cpu, task)
+            self._exec_ctxs[cpu] = ctx
+        else:
+            ctx.task = task
+            ctx.asid = task.pid
+        return ctx
+
     def _schedule_dispatch(self, cpu: int, time: float) -> None:
         st = self.cpus[cpu]
         time = max(time, self.sim.now)
@@ -436,7 +481,7 @@ class Kernel:
                 return
             st.dispatch.cancel()
         st.dispatch = self.sim.call_at(
-            time, lambda c=cpu: self._dispatch(c), priority=10, label=f"dispatch{cpu}"
+            time, self._dispatch_cbs[cpu], priority=10, label=f"dispatch{cpu}"
         )
 
     def _kick(self, cpu: int) -> None:
@@ -457,7 +502,11 @@ class Kernel:
 
         # 3. due hrtimers → interrupt
         irq_ns = 0.0
-        due = [t for t in st.timers if not t.cancelled and t.expiry <= now + _EPS]
+        due = (
+            [t for t in st.timers
+             if not t.cancelled and t.expiry <= now + _EPS]
+            if st.timers else None
+        )
         if due:
             irq_ns = self.costs.irq_entry()
             for timer in due:
@@ -496,7 +545,7 @@ class Kernel:
         if horizon <= now + _EPS:
             self._schedule_dispatch(cpu, horizon)
             return
-        ctx = _KernelExecContext(self, cpu, curr)
+        ctx = self._ctx(cpu, curr)
         outcome = curr.body.run(ctx, now, horizon)
         self._charge_task(cpu, curr, outcome.end)
         if outcome.exited:
@@ -507,12 +556,16 @@ class Kernel:
 
     def _next_event_time(self, cpu: int) -> float:
         st = self.cpus[cpu]
+        if not st.timers:
+            if st.tick_next is not None:
+                return st.tick_next
+            # A running task with no tick cannot happen (tick is armed
+            # whenever the CPU is busy), but stay safe.
+            return self.sim.now + self.params.tick
         candidates = [t.expiry for t in st.timers if not t.cancelled]
         if st.tick_next is not None:
             candidates.append(st.tick_next)
         if not candidates:
-            # A running task with no tick cannot happen (tick is armed
-            # whenever the CPU is busy), but stay safe.
             return self.sim.now + self.params.tick
         return min(candidates)
 
@@ -665,7 +718,7 @@ class Kernel:
         prev = st.rq.current
         if prev is not None:
             # Involuntary deschedule: apply SGX AEX / speculative smear.
-            ctx = _KernelExecContext(self, cpu, prev)
+            ctx = self._ctx(cpu, prev)
             prev.body.on_preempted(ctx)
             if prev.enclave:
                 self.machine.tlbs.flush_core(cpu)
@@ -721,9 +774,9 @@ class Kernel:
                 )
         self.sim.call_at(
             max(now + cost, self.sim.now),
-            lambda c=cpu, t=next_task: self._finish_switch(c, t),
+            partial(self._finish_switch, cpu, next_task),
             priority=5,
-            label=f"finish_switch{cpu}",
+            label=self._finish_labels[cpu],
         )
 
     def _finish_switch(self, cpu: int, task: Task) -> None:
@@ -788,18 +841,31 @@ class Kernel:
         cfg = self.config
         if cfg.footprint_inst_lines <= 0 and cfg.footprint_data_lines <= 0:
             return
-        hierarchy = self.machine.hierarchy
-        offset = self.rng.stream("kfoot").randrange(0, 8) * 64
+        offset = self._kfoot_draw(0, 8) * 64
         # The footprint's LLC sets model where this kernel build's
         # switch-path text/data happen to map — chosen away from the
         # victims' hot sets, the common case on a 16K-set LLC.  (When
         # they do collide, §4.3's channel-noise mitigations apply.)
-        base = KERNEL_REGION_BASE + 1500 * 64 + offset
-        for i in range(cfg.footprint_inst_lines):
-            hierarchy.access(cpu, base + i * 64, kind="inst")
-        data_base = KERNEL_REGION_BASE + 0x10_0000 + 1800 * 64 + offset
-        for i in range(cfg.footprint_data_lines):
-            hierarchy.access(cpu, data_base + i * 64, kind="data")
+        # Batched walk: same addresses in the same order as per-line
+        # access() calls, precompiled per rotating window.
+        touchers = self._kfoot_touchers.get((cpu, offset))
+        if touchers is None:
+            hierarchy = self.machine.hierarchy
+            base = KERNEL_REGION_BASE + 1500 * 64 + offset
+            data_base = KERNEL_REGION_BASE + 0x10_0000 + 1800 * 64 + offset
+            touchers = (
+                hierarchy.make_line_toucher(
+                    cpu, range(base, base + cfg.footprint_inst_lines * 64, 64),
+                    kind="inst"),
+                hierarchy.make_line_toucher(
+                    cpu,
+                    range(data_base,
+                          data_base + cfg.footprint_data_lines * 64, 64),
+                    kind="data"),
+            )
+            self._kfoot_touchers[(cpu, offset)] = touchers
+        touchers[0]()
+        touchers[1]()
 
     # ------------------------------------------------------------------
     # Load balancing

@@ -65,6 +65,8 @@ class ExecContext:
     (it needs kernel state to execute syscalls).
     """
 
+    __slots__ = ()
+
     core: Core
     asid: int
 

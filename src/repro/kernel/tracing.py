@@ -15,7 +15,7 @@ from typing import List, Optional
 from repro.obs.ring import RingBuffer
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SwitchRecord:
     """One context switch decision."""
 
@@ -28,7 +28,7 @@ class SwitchRecord:
     next_vruntime: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExitToUserRecord:
     """Kernel returned control to userspace for `pid`.
 
@@ -46,7 +46,7 @@ class ExitToUserRecord:
     retired: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WakeupRecord:
     """A task left the waitqueue (Scenario 2)."""
 
@@ -59,7 +59,7 @@ class WakeupRecord:
     preempted: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MigrationRecord:
     """The load balancer moved a task to another CPU (sched_migrate_task)."""
 
@@ -71,7 +71,7 @@ class MigrationRecord:
     vruntime_after: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VruntimeSample:
     """Periodic vruntime snapshot (drives Fig 4.6)."""
 

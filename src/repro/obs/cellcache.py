@@ -1,0 +1,189 @@
+"""Content-addressed cache of experiment cell results.
+
+Every experiment in this repo is a pure function of ``(params, seed)``
+— that is what makes run manifests replayable (:mod:`repro.obs.
+manifest`).  Purity also means a repeated cell is pure waste: a τ-sweep
+re-run after an unrelated code tweak, a perf-report baseline pass, or a
+notebook re-execution recomputes cells whose inputs are byte-for-byte
+identical to a previous run.  This module serves those repeats from
+disk.
+
+The cache is **content-addressed over inputs**: the key is the SHA-256
+of the canonical JSON of ``(schema, package version, experiment id,
+sanitized params)`` — the same sanitized-parameter view the manifest
+writer records, so *anything a manifest could replay, the cache can
+key*.  Parameters that do not survive sanitization (``{"__repr__":
+...}`` placeholders — live objects, callbacks) make the cell
+non-replayable and therefore non-cacheable; such cells are skipped, and
+counted, rather than mis-keyed.
+
+Safety properties:
+
+* the package version participates in the key, so a code change that
+  bumps the version cold-starts the cache rather than serving stale
+  results;
+* every stored entry carries the :func:`repro.obs.manifest.
+  result_digest` of its result, and :meth:`CellCache.fetch` re-digests
+  the unpickled result on every hit — a corrupt or tampered entry is a
+  miss, never a wrong answer;
+* writes are atomic (temp file + ``os.replace``), so concurrent pool
+  workers racing on the same cell leave one valid entry, not an
+  interleaved one;
+* entries are pickles, so the cache directory is trusted input — it
+  lives next to the run manifests the same trust already covers
+  (``runs/cellcache/`` by default).  ``repro replay`` of any manifest
+  bypasses the cache entirely and remains the ground-truth check.
+
+Enabled by ``REPRO_CELL_CACHE_DIR`` (exported by the CLI so pool
+workers inherit it, like ``REPRO_MANIFEST_DIR``); the CLI's
+``--no-cell-cache`` clears it.  Hit/miss/store/skip counts surface as
+``cellcache.*`` metrics when ``--metrics`` is on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.manifest import _package_version, _sanitize, result_digest
+
+__all__ = ["CellCache", "cell_cache", "CACHE_ENV", "CACHE_SCHEMA"]
+
+CACHE_ENV = "REPRO_CELL_CACHE_DIR"
+CACHE_SCHEMA = 1
+
+#: Memoized caches keyed by directory, so repeated cells in one process
+#: share one instance (and one ``makedirs`` check).
+_instances: Dict[str, "CellCache"] = {}
+
+
+def cell_cache() -> Optional["CellCache"]:
+    """The process-wide cache configured by ``REPRO_CELL_CACHE_DIR``,
+    or None when caching is disabled."""
+    path = os.environ.get(CACHE_ENV, "").strip()
+    if not path:
+        return None
+    cache = _instances.get(path)
+    if cache is None:
+        cache = _instances[path] = CellCache(path)
+    return cache
+
+
+def _has_unsanitizable(value: Any) -> bool:
+    """True if a sanitized parameter tree contains a repr placeholder
+    (a live object the manifest could not replay either)."""
+    if isinstance(value, dict):
+        if set(value) == {"__repr__"}:
+            return True
+        return any(_has_unsanitizable(v) for v in value.values())
+    if isinstance(value, list):
+        return any(_has_unsanitizable(v) for v in value)
+    return False
+
+
+class CellCache:
+    """Pickle store of cell results under one directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key_for(self, experiment: str, params: Dict[str, Any]) -> Optional[str]:
+        """Content key for one cell, or None when ``params`` contain a
+        value that does not survive manifest sanitization (those cells
+        are not replayable, so they must not be cache-served)."""
+        sanitized = {k: _sanitize(v) for k, v in params.items()}
+        if _has_unsanitizable(sanitized):
+            self._count("skipped")
+            return None
+        material = json.dumps(
+            [CACHE_SCHEMA, _package_version(), experiment, sanitized],
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"cell-{key}.pkl")
+
+    # ------------------------------------------------------------------
+    # Fetch / store
+    # ------------------------------------------------------------------
+    def fetch(self, key: str) -> Tuple[bool, Any]:
+        """``(True, result)`` on a verified hit, else ``(False, None)``.
+
+        A hit requires the stored result to re-digest to the recorded
+        digest; anything else (missing file, unpickle failure, digest
+        mismatch) is a miss and the cell recomputes.
+        """
+        try:
+            with open(self._path(key), "rb") as fh:
+                entry = pickle.load(fh)
+            result = entry["result"]
+            if result_digest(result) != entry["digest"]:
+                self._count("corrupt")
+                return False, None
+        except (OSError, pickle.UnpicklingError, KeyError, EOFError,
+                AttributeError, ImportError, IndexError):
+            self._count("misses")
+            return False, None
+        self._count("hits")
+        return True, result
+
+    def store(self, key: str, experiment: str, result: Any) -> Optional[str]:
+        """Atomically persist one cell result; returns the path (None
+        when the result cannot be pickled — nothing is written)."""
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "experiment": experiment,
+            "digest": result_digest(result),
+            "result": result,
+        }
+        path = self._path(key)
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".cell-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError):
+            # Unpicklable results (or a read-only cache dir) simply do
+            # not cache; the computed result is still returned upstream.
+            return None
+        self._count("stores")
+        return path
+
+    def digest_of(self, key: str) -> Optional[str]:
+        """Recorded result digest for ``key`` (None when absent) —
+        lets callers compare a cached cell against a fresh recompute
+        without unpickling the whole result."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                entry = pickle.load(fh)
+            return entry["digest"]
+        except (OSError, pickle.UnpicklingError, KeyError, EOFError,
+                AttributeError, ImportError, IndexError):
+            return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count(event: str) -> None:
+        from repro.obs import get_obs
+
+        metrics = get_obs().metrics
+        if metrics.enabled:
+            metrics.counter(f"cellcache.{event}").inc()

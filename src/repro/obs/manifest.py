@@ -242,9 +242,41 @@ def run_recorded(
     call = dict(params)
     if extra_kwargs:
         call.update(extra_kwargs)
+    # Run-level cell cache: ``params`` alone determine the result (that
+    # is the manifest contract — ``extra_kwargs`` are execution-only),
+    # so the cache key deliberately excludes ``extra_kwargs`` and a
+    # ``--jobs 8`` re-run hits the entry a serial run stored.
+    cache = key = None
+    if os.environ.get("REPRO_CELL_CACHE_DIR", "").strip():
+        from repro.obs.cellcache import cell_cache
+
+        cache = cell_cache()
+        if cache is not None:
+            key = cache.key_for(experiment, params)
+            if key is not None:
+                hit, result = cache.fetch(key)
+                if hit:
+                    manifest = RunManifest(
+                        experiment=experiment,
+                        params={k: _sanitize(v) for k, v in params.items()},
+                        seed=(params.get("seed")
+                              if isinstance(params.get("seed"), int) else None),
+                        kind="run",
+                        version=_package_version(),
+                        python=platform.python_version(),
+                        platform=platform.platform(),
+                        started_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                        wall_time_s=0.0,
+                        result_digest=result_digest(result),
+                        metrics={"cellcache.hit": 1},
+                    )
+                    path = manifest.save(out_dir) if out_dir else None
+                    return result, manifest, path
     result, manifest = _capture(
         experiment, params, lambda: fn(**call), kind="run"
     )
+    if key is not None:
+        cache.store(key, experiment, result)
     path = manifest.save(out_dir) if out_dir else None
     return result, manifest, path
 

@@ -172,6 +172,23 @@ def _serial_map(fn: Callable[[T], R], items: Sequence[T], show: bool) -> List[R]
 
 def _invoke_kwargs(payload: Any) -> Any:
     fn, kwargs = payload
+    cache = key = None
+    if os.environ.get("REPRO_CELL_CACHE_DIR", "").strip():
+        # Content-addressed cell cache (repro.obs.cellcache): cells are
+        # pure functions of their kwargs, so a key hit — same code
+        # version, same experiment, same sanitized params — returns the
+        # stored result without simulating.  Workers inherit the env
+        # var, so serial and pooled schedules share one cache and a
+        # warm run is digest-identical to a cold one for any ``jobs``.
+        from repro.obs.cellcache import cell_cache
+
+        cache = cell_cache()
+        if cache is not None:
+            key = cache.key_for(f"{fn.__module__}:{fn.__qualname__}", kwargs)
+            if key is not None:
+                hit, result = cache.fetch(key)
+                if hit:
+                    return result
     manifest_dir = os.environ.get("REPRO_MANIFEST_DIR", "").strip()
     if manifest_dir:
         # Runs inside pool workers too: workers inherit the env var, so
@@ -179,8 +196,12 @@ def _invoke_kwargs(payload: Any) -> Any:
         # would.  Import is lazy to keep the pickling path light.
         from repro.obs.manifest import record_cell
 
-        return record_cell(fn, kwargs, manifest_dir)
-    return fn(**kwargs)
+        result = record_cell(fn, kwargs, manifest_dir)
+    else:
+        result = fn(**kwargs)
+    if key is not None:
+        cache.store(key, f"{fn.__module__}:{fn.__qualname__}", result)
+    return result
 
 
 def starmap_kwargs(

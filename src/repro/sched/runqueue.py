@@ -60,9 +60,15 @@ class RunQueue:
     def update_min_vruntime(self) -> None:
         """CFS: min_vruntime tracks the smallest runnable vruntime but
         never decreases (kernel semantics)."""
-        candidates = [t.vruntime for t in self.all_tasks()]
-        if candidates:
-            self.min_vruntime = max(self.min_vruntime, min(candidates))
+        # Charge-path hot spot: scan without materializing a list.
+        current = self.current
+        smallest = current.vruntime if current is not None else None
+        for t in self.queued:
+            v = t.vruntime
+            if smallest is None or v < smallest:
+                smallest = v
+        if smallest is not None and smallest > self.min_vruntime:
+            self.min_vruntime = smallest
 
     def avg_vruntime(self) -> float:
         """EEVDF: load-weighted average vruntime over runnable tasks."""

@@ -18,12 +18,28 @@ Each set is an insertion-ordered dict of line addresses (LRU first, MRU
 last): membership, recency update and LRU eviction are all O(1), where
 the previous list representation paid an O(ways) scan-and-remove on
 every hit — the hottest loop in the whole hierarchy.
+
+Two interchangeable level implementations exist:
+
+* :class:`CacheLevel` — the dict-of-sets reference ("interpreter path");
+* :class:`ArrayCacheLevel` — preallocated flat lists of ints (one tag
+  slot and one age stamp per way), selected with
+  ``REPRO_UARCH_BACKEND=array``.  Exact-LRU equivalence: a monotonic
+  stamp clock reproduces insertion-order recency bit-for-bit, so golden
+  traces are identical under either backend.
+
+Every level also maintains a **version counter** bumped whenever a line
+*leaves* the level (eviction, invalidation, flush).  Fills never bump
+it: adding lines cannot un-certify a residency proof, so the executor's
+fast-forward paths may memoize "footprint resident" against the version
+and re-certify in O(1).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.uarch.address import CACHE_LINE_SIZE, line_addr
 from repro.uarch.timing import LATENCY, LatencyModel
@@ -75,7 +91,7 @@ class CacheLevel:
     """
 
     __slots__ = ("name", "geometry", "_sets", "hits", "misses", "evictions",
-                 "_set_mask", "_line_size", "_n_ways")
+                 "version", "_set_mask", "_line_size", "_n_ways")
 
     def __init__(self, name: str, geometry: CacheGeometry):
         self.name = name
@@ -87,6 +103,9 @@ class CacheLevel:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Bumped whenever a line leaves this level (evict/invalidate/
+        #: flush).  Fills do not bump it — see module docstring.
+        self.version = 0
         # Hoisted set-index math: the geometry is frozen, so the mask,
         # line size and associativity never change after construction.
         self._set_mask = geometry.n_sets - 1
@@ -121,6 +140,20 @@ class CacheLevel:
         line = addr & _LINE_MASK
         return line in self._sets[(line // self._line_size) & self._set_mask]
 
+    def contains_all(self, addrs: Iterable[int]) -> bool:
+        """True when every address's line is resident (no side effects).
+
+        Batched form of :meth:`contains` for footprint certification:
+        one call certifies a whole loop body."""
+        sets = self._sets
+        mask = self._set_mask
+        size = self._line_size
+        for addr in addrs:
+            line = addr & _LINE_MASK
+            if line not in sets[(line // size) & mask]:
+                return False
+        return True
+
     def fill(self, addr: int) -> Optional[int]:
         """Insert the line holding ``addr``; return the evicted line (or
         None).  Filling an already-resident line just refreshes LRU."""
@@ -135,6 +168,7 @@ class CacheLevel:
             victim = next(iter(bucket))
             del bucket[victim]
             self.evictions += 1
+            self.version += 1
         bucket[line] = None
         return victim
 
@@ -144,6 +178,7 @@ class CacheLevel:
         bucket = self._sets[(line // self._line_size) & self._set_mask]
         if line in bucket:
             del bucket[line]
+            self.version += 1
             return True
         return False
 
@@ -161,6 +196,157 @@ class CacheLevel:
     def flush_all(self) -> None:
         for bucket in self._sets:
             bucket.clear()
+        self.version += 1
+
+
+class ArrayCacheLevel:
+    """Flat-array twin of :class:`CacheLevel` (``REPRO_UARCH_BACKEND=array``).
+
+    State is two preallocated flat lists of ints indexed by
+    ``set * n_ways + way``: ``_tags`` holds the resident line address
+    (-1 = empty way) and ``_stamps`` the age from a monotonic per-level
+    clock.  LRU victim = occupied way with the smallest stamp; recency
+    refresh = restamp with the next clock value.  Because the clock is
+    strictly monotonic this reproduces the dict backend's insertion
+    order exactly, so eviction decisions — and therefore every golden
+    trace — are bit-identical between backends.
+    """
+
+    __slots__ = ("name", "geometry", "_tags", "_stamps", "_clock",
+                 "hits", "misses", "evictions", "version",
+                 "_set_mask", "_line_size", "_n_ways")
+
+    def __init__(self, name: str, geometry: CacheGeometry):
+        self.name = name
+        self.geometry = geometry
+        n = geometry.n_sets * geometry.n_ways
+        self._tags: List[int] = [-1] * n
+        self._stamps: List[int] = [0] * n
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.version = 0
+        self._set_mask = geometry.n_sets - 1
+        self._line_size = geometry.line_size
+        self._n_ways = geometry.n_ways
+
+    def lookup(self, addr: int, *, touch: bool = True,
+               count_stats: bool = True) -> bool:
+        line = addr & _LINE_MASK
+        ways = self._n_ways
+        base = ((line // self._line_size) & self._set_mask) * ways
+        tags = self._tags
+        for w in range(base, base + ways):
+            if tags[w] == line:
+                if count_stats:
+                    self.hits += 1
+                if touch:
+                    self._clock += 1
+                    self._stamps[w] = self._clock
+                return True
+        if count_stats:
+            self.misses += 1
+        return False
+
+    def contains(self, addr: int) -> bool:
+        line = addr & _LINE_MASK
+        ways = self._n_ways
+        base = ((line // self._line_size) & self._set_mask) * ways
+        tags = self._tags
+        for w in range(base, base + ways):
+            if tags[w] == line:
+                return True
+        return False
+
+    def contains_all(self, addrs: Iterable[int]) -> bool:
+        for addr in addrs:
+            if not self.contains(addr):
+                return False
+        return True
+
+    def fill(self, addr: int) -> Optional[int]:
+        line = addr & _LINE_MASK
+        ways = self._n_ways
+        base = ((line // self._line_size) & self._set_mask) * ways
+        tags = self._tags
+        stamps = self._stamps
+        free = -1
+        victim_way = base
+        victim_stamp = None
+        for w in range(base, base + ways):
+            tag = tags[w]
+            if tag == line:
+                self._clock += 1
+                stamps[w] = self._clock
+                return None
+            if tag == -1:
+                if free < 0:
+                    free = w
+            elif victim_stamp is None or stamps[w] < victim_stamp:
+                victim_stamp = stamps[w]
+                victim_way = w
+        victim = None
+        if free >= 0:
+            way = free
+        else:
+            way = victim_way
+            victim = tags[way]
+            self.evictions += 1
+            self.version += 1
+        tags[way] = line
+        self._clock += 1
+        stamps[way] = self._clock
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        line = addr & _LINE_MASK
+        ways = self._n_ways
+        base = ((line // self._line_size) & self._set_mask) * ways
+        tags = self._tags
+        for w in range(base, base + ways):
+            if tags[w] == line:
+                tags[w] = -1
+                self.version += 1
+                return True
+        return False
+
+    def resident_lines(self, set_index: int) -> Tuple[int, ...]:
+        ways = self._n_ways
+        base = set_index * ways
+        tags = self._tags
+        stamps = self._stamps
+        occupied = [(stamps[w], tags[w]) for w in range(base, base + ways)
+                    if tags[w] != -1]
+        occupied.sort()
+        return tuple(tag for _, tag in occupied)
+
+    def occupied_sets(self):
+        for index in range(self._set_mask + 1):
+            lines = self.resident_lines(index)
+            if lines:
+                yield index, lines
+
+    def flush_all(self) -> None:
+        n = len(self._tags)
+        self._tags = [-1] * n
+        self.version += 1
+
+
+#: Environment switch selecting the cache/TLB level implementation.
+#: ``dict`` (default) is the reference; ``array`` is the flat-list twin.
+UARCH_BACKEND_ENV = "REPRO_UARCH_BACKEND"
+
+
+def cache_level_class():
+    """Level implementation selected by :data:`UARCH_BACKEND_ENV`."""
+    backend = os.environ.get(UARCH_BACKEND_ENV, "dict")
+    if backend == "array":
+        return ArrayCacheLevel
+    if backend != "dict":
+        raise ValueError(f"unknown {UARCH_BACKEND_ENV}={backend!r} "
+                         "(expected 'dict' or 'array')")
+    return CacheLevel
 
 
 class MemoryHierarchy:
@@ -181,10 +367,11 @@ class MemoryHierarchy:
         self.geometry = geometry or HierarchyGeometry()
         self.latency = latency
         self.n_cores = n_cores
-        self.l1i = [CacheLevel(f"L1I#{c}", self.geometry.l1i) for c in range(n_cores)]
-        self.l1d = [CacheLevel(f"L1D#{c}", self.geometry.l1d) for c in range(n_cores)]
-        self.l2 = [CacheLevel(f"L2#{c}", self.geometry.l2) for c in range(n_cores)]
-        self.llc = CacheLevel("LLC", self.geometry.llc)
+        level = cache_level_class()
+        self.l1i = [level(f"L1I#{c}", self.geometry.l1i) for c in range(n_cores)]
+        self.l1d = [level(f"L1D#{c}", self.geometry.l1d) for c in range(n_cores)]
+        self.l2 = [level(f"L2#{c}", self.geometry.l2) for c in range(n_cores)]
+        self.llc = level("LLC", self.geometry.llc)
         # Hoisted load-to-use latencies (the model is frozen).
         self._l1_hit = latency.l1_hit
         self._l2_hit = latency.l2_hit
@@ -217,6 +404,160 @@ class MemoryHierarchy:
             self._back_invalidate(evicted)
         self._fill_private(core, l1, addr)
         return self._dram
+
+    def access_many(self, core: int, addrs: Iterable[int], kind: str = "data",
+                    *, count_stats: bool = True) -> int:
+        """Access ``addrs`` in order; returns the summed latency in cycles.
+
+        Behaviourally identical to calling :meth:`access` per address
+        (same fills, evictions and counters, so traces are bit-equal),
+        but one call amortizes the per-access attribute lookups across a
+        whole batch — the kernel's context-switch footprint toucher and
+        the core's warm-up paths issue 16-24 accesses at a time.
+        """
+        l1 = self.l1d[core] if kind == "data" else self.l1i[core]
+        l2 = self.l2[core]
+        llc = self.llc
+        total = 0
+        if l1.__class__ is CacheLevel:
+            # Dict-backend specialization: the kernel's context-switch
+            # footprint toucher lands here with 16-24 addresses that
+            # are nearly always L1 hits after the first switch, so the
+            # L1 probe is inlined down to one list subscript and one
+            # dict membership test.  Counters accumulate locally and
+            # apply once per batch; fills, evictions and recency
+            # updates are the same operations as the generic walk, so
+            # resulting state and counter values are bit-equal.
+            sets = l1._sets
+            mask = l1._set_mask
+            size = l1._line_size
+            l1_hit = self._l1_hit
+            hits = 0
+            misses = 0
+            l2_lookup = l2.lookup
+            llc_lookup = llc.lookup
+            l1_fill = l1.fill
+            l2_fill = l2.fill
+            for addr in addrs:
+                line = addr & _LINE_MASK
+                bucket = sets[(line // size) & mask]
+                if line in bucket:
+                    hits += 1
+                    del bucket[line]
+                    bucket[line] = None
+                    total += l1_hit
+                elif l2_lookup(addr, count_stats=count_stats):
+                    misses += 1
+                    l1_fill(addr)
+                    total += self._l2_hit
+                elif llc_lookup(addr, count_stats=count_stats):
+                    misses += 1
+                    l2_fill(addr)
+                    l1_fill(addr)
+                    total += self._llc_hit
+                else:
+                    misses += 1
+                    evicted = llc.fill(addr)
+                    if evicted is not None:
+                        self._back_invalidate(evicted)
+                    l2_fill(addr)
+                    l1_fill(addr)
+                    total += self._dram
+            if count_stats:
+                l1.hits += hits
+                l1.misses += misses
+            return total
+        l1_lookup = l1.lookup
+        l2_lookup = l2.lookup
+        llc_lookup = llc.lookup
+        for addr in addrs:
+            if l1_lookup(addr, count_stats=count_stats):
+                total += self._l1_hit
+            elif l2_lookup(addr, count_stats=count_stats):
+                l1.fill(addr)
+                total += self._l2_hit
+            elif llc_lookup(addr, count_stats=count_stats):
+                l2.fill(addr)
+                l1.fill(addr)
+                total += self._llc_hit
+            else:
+                evicted = llc.fill(addr)
+                if evicted is not None:
+                    self._back_invalidate(evicted)
+                l2.fill(addr)
+                l1.fill(addr)
+                total += self._dram
+        return total
+
+    def make_line_toucher(self, core: int, addrs: Iterable[int],
+                          kind: str = "data"):
+        """Precompiled :meth:`access_many` for a fixed tuple of
+        line-aligned addresses.
+
+        The kernel's context-switch footprint walks the same 8 rotating
+        address windows thousands of times per run; resolving the set
+        index of every line once at build time reduces the per-switch
+        walk to one dict membership test per line (dict backend).  The
+        returned zero-argument callable performs exactly the accesses
+        ``access_many(core, addrs, kind=kind)`` would — same fills,
+        evictions, recency updates and counter totals — and returns the
+        summed latency in cycles.  For the array backend (whose flat
+        lists are reallocated on flush) it simply closes over
+        :meth:`access_many`.
+        """
+        addrs = tuple(addrs)
+        if any(a & ~_LINE_MASK for a in addrs):
+            raise ValueError("make_line_toucher requires line-aligned addresses")
+        l1 = self.l1d[core] if kind == "data" else self.l1i[core]
+        if l1.__class__ is not CacheLevel:
+            return lambda: self.access_many(core, addrs, kind=kind)
+        l2 = self.l2[core]
+        llc = self.llc
+        size = l1._line_size
+        mask = l1._set_mask
+        pairs = tuple((l1._sets[(a // size) & mask], a) for a in addrs)
+        l1_hit = self._l1_hit
+        l2_hit = self._l2_hit
+        llc_hit = self._llc_hit
+        dram = self._dram
+        l1_fill = l1.fill
+        l2_fill = l2.fill
+        l2_lookup = l2.lookup
+        llc_lookup = llc.lookup
+        llc_fill = llc.fill
+        back_invalidate = self._back_invalidate
+
+        def touch() -> int:
+            total = 0
+            hits = 0
+            misses = 0
+            for bucket, line in pairs:
+                if line in bucket:
+                    hits += 1
+                    del bucket[line]
+                    bucket[line] = None
+                elif l2_lookup(line):
+                    misses += 1
+                    l1_fill(line)
+                    total += l2_hit
+                elif llc_lookup(line):
+                    misses += 1
+                    l2_fill(line)
+                    l1_fill(line)
+                    total += llc_hit
+                else:
+                    misses += 1
+                    evicted = llc_fill(line)
+                    if evicted is not None:
+                        back_invalidate(evicted)
+                    l2_fill(line)
+                    l1_fill(line)
+                    total += dram
+            l1.hits += hits
+            l1.misses += misses
+            return total + hits * l1_hit
+
+        return touch
 
     def prefetch(self, core: int, addr: int, kind: str = "inst") -> None:
         """Bring a line in without charging the requester (BTB-driven

@@ -13,16 +13,23 @@ is ``vpn mod n_sets``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.uarch.address import page_number
+from repro.uarch.cache import UARCH_BACKEND_ENV
 from repro.uarch.timing import LATENCY, LatencyModel
 
 Tag = Tuple[int, int]  # (asid, vpn)
 
 _HUGE_PAGE_SIZE = 2 * 1024 * 1024
 _HUGE_VPN_BASE = 1 << 48  # disjoint from any 4 KiB VPN
+
+#: Packed-tag shift for the array backend: ``asid << 72 | vpn`` keeps the
+#: tag a single machine-comparable int (every vpn, including the huge-
+#: page namespace at ``1 << 48``, fits well below 2**72).
+_ASID_SHIFT = 72
 
 
 @dataclass(frozen=True)
@@ -49,7 +56,7 @@ class Tlb:
     """
 
     __slots__ = ("name", "geometry", "_sets", "hits", "misses", "evictions",
-                 "_n_sets", "_n_ways")
+                 "version", "_n_sets", "_n_ways")
 
     def __init__(self, name: str, geometry: TlbGeometry):
         self.name = name
@@ -60,6 +67,9 @@ class Tlb:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Bumped whenever an entry leaves this level (evict/invalidate/
+        #: flush); fills never bump it.  See repro.uarch.cache docstring.
+        self.version = 0
         self._n_sets = geometry.n_sets
         self._n_ways = geometry.n_ways
 
@@ -78,6 +88,16 @@ class Tlb:
     def contains(self, asid: int, vpn: int) -> bool:
         return (asid, vpn) in self._sets[vpn % self._n_sets]
 
+    def contains_all(self, asid: int, vpns: Iterable[int]) -> bool:
+        """True when every ``vpn`` is translated for ``asid``; batched
+        :meth:`contains` for footprint certification."""
+        sets = self._sets
+        n_sets = self._n_sets
+        for vpn in vpns:
+            if (asid, vpn) not in sets[vpn % n_sets]:
+                return False
+        return True
+
     def fill(self, asid: int, vpn: int) -> None:
         bucket = self._sets[vpn % self._n_sets]
         tag = (asid, vpn)
@@ -86,6 +106,7 @@ class Tlb:
         elif len(bucket) >= self._n_ways:
             del bucket[next(iter(bucket))]
             self.evictions += 1
+            self.version += 1
         bucket[tag] = None
 
     def invalidate(self, asid: int, vpn: int) -> bool:
@@ -93,6 +114,7 @@ class Tlb:
         tag = (asid, vpn)
         if tag in bucket:
             del bucket[tag]
+            self.version += 1
             return True
         return False
 
@@ -106,6 +128,141 @@ class Tlb:
     def flush_all(self) -> None:
         for bucket in self._sets:
             bucket.clear()
+        self.version += 1
+
+
+class ArrayTlb:
+    """Flat-array twin of :class:`Tlb` (``REPRO_UARCH_BACKEND=array``).
+
+    Tags are packed to a single int (``asid << _ASID_SHIFT | vpn``) in a
+    preallocated flat list, with a monotonic stamp clock for exact-LRU
+    recency — the same construction as
+    :class:`repro.uarch.cache.ArrayCacheLevel`, and bit-identical to the
+    dict backend for the same reason.
+    """
+
+    __slots__ = ("name", "geometry", "_tags", "_stamps", "_clock",
+                 "hits", "misses", "evictions", "version",
+                 "_n_sets", "_n_ways")
+
+    def __init__(self, name: str, geometry: TlbGeometry):
+        self.name = name
+        self.geometry = geometry
+        n = geometry.n_sets * geometry.n_ways
+        self._tags: List[int] = [-1] * n
+        self._stamps: List[int] = [0] * n
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.version = 0
+        self._n_sets = geometry.n_sets
+        self._n_ways = geometry.n_ways
+
+    def lookup(self, asid: int, vpn: int, *, touch: bool = True) -> bool:
+        tag = (asid << _ASID_SHIFT) | vpn
+        ways = self._n_ways
+        base = (vpn % self._n_sets) * ways
+        tags = self._tags
+        for w in range(base, base + ways):
+            if tags[w] == tag:
+                self.hits += 1
+                if touch:
+                    self._clock += 1
+                    self._stamps[w] = self._clock
+                return True
+        self.misses += 1
+        return False
+
+    def contains(self, asid: int, vpn: int) -> bool:
+        tag = (asid << _ASID_SHIFT) | vpn
+        ways = self._n_ways
+        base = (vpn % self._n_sets) * ways
+        tags = self._tags
+        for w in range(base, base + ways):
+            if tags[w] == tag:
+                return True
+        return False
+
+    def contains_all(self, asid: int, vpns: Iterable[int]) -> bool:
+        for vpn in vpns:
+            if not self.contains(asid, vpn):
+                return False
+        return True
+
+    def fill(self, asid: int, vpn: int) -> None:
+        tag = (asid << _ASID_SHIFT) | vpn
+        ways = self._n_ways
+        base = (vpn % self._n_sets) * ways
+        tags = self._tags
+        stamps = self._stamps
+        free = -1
+        victim_way = base
+        victim_stamp = None
+        for w in range(base, base + ways):
+            t = tags[w]
+            if t == tag:
+                self._clock += 1
+                stamps[w] = self._clock
+                return
+            if t == -1:
+                if free < 0:
+                    free = w
+            elif victim_stamp is None or stamps[w] < victim_stamp:
+                victim_stamp = stamps[w]
+                victim_way = w
+        if free >= 0:
+            way = free
+        else:
+            way = victim_way
+            self.evictions += 1
+            self.version += 1
+        tags[way] = tag
+        self._clock += 1
+        stamps[way] = self._clock
+
+    def invalidate(self, asid: int, vpn: int) -> bool:
+        tag = (asid << _ASID_SHIFT) | vpn
+        ways = self._n_ways
+        base = (vpn % self._n_sets) * ways
+        tags = self._tags
+        for w in range(base, base + ways):
+            if tags[w] == tag:
+                tags[w] = -1
+                self.version += 1
+                return True
+        return False
+
+    def occupied_sets(self):
+        ways = self._n_ways
+        tags = self._tags
+        stamps = self._stamps
+        for index in range(self._n_sets):
+            base = index * ways
+            occupied = [(stamps[w], tags[w]) for w in range(base, base + ways)
+                        if tags[w] != -1]
+            if occupied:
+                occupied.sort()
+                yield index, tuple(
+                    (t >> _ASID_SHIFT, t & ((1 << _ASID_SHIFT) - 1))
+                    for _, t in occupied
+                )
+
+    def flush_all(self) -> None:
+        n = len(self._tags)
+        self._tags = [-1] * n
+        self.version += 1
+
+
+def tlb_class():
+    """TLB level implementation selected by ``REPRO_UARCH_BACKEND``."""
+    backend = os.environ.get(UARCH_BACKEND_ENV, "dict")
+    if backend == "array":
+        return ArrayTlb
+    if backend != "dict":
+        raise ValueError(f"unknown {UARCH_BACKEND_ENV}={backend!r} "
+                         "(expected 'dict' or 'array')")
+    return Tlb
 
 
 class TlbHierarchy:
@@ -122,8 +279,9 @@ class TlbHierarchy:
 
     def __init__(self, n_cores: int, latency: LatencyModel = LATENCY):
         self.latency = latency
-        self.itlb = [Tlb(f"iTLB#{c}", self.ITLB) for c in range(n_cores)]
-        self.stlb = [Tlb(f"STLB#{c}", self.STLB) for c in range(n_cores)]
+        level = tlb_class()
+        self.itlb = [level(f"iTLB#{c}", self.ITLB) for c in range(n_cores)]
+        self.stlb = [level(f"STLB#{c}", self.STLB) for c in range(n_cores)]
 
     def translate_fetch(self, core: int, asid: int, addr: int) -> int:
         """Translate an instruction fetch; returns extra cycles."""

@@ -43,7 +43,12 @@ from repro.validate.invariants import (
     check_switch_stream,
     check_vruntime_monotonic,
 )
-from repro.validate.uarch import UarchProbe, inject_llc_leak, run_uarch_case
+from repro.validate.uarch import (
+    UarchProbe,
+    inject_llc_leak,
+    run_fastforward_case,
+    run_uarch_case,
+)
 from repro.validate.workload import WorkloadSpec, build_tasks, generate_workload
 
 #: Scheduler params come from the paper's 16-core testbed, like every
@@ -366,6 +371,7 @@ def run_validate(
     profile: str = "mixed",
     differential: bool = False,
     uarch_cases: int = 0,
+    ff_cases: int = 0,
 ) -> ValidateReport:
     """Fuzz ``cases`` random workloads per scheduler under all oracles.
 
@@ -380,7 +386,9 @@ def run_validate(
     the CFS/EEVDF feature grid and attaches the divergence summary to
     its :class:`FailureSummary`.  ``uarch_cases`` appends that many
     scripted cache/TLB differential cases (machine vs brute-force
-    reference) to the campaign.
+    reference) to the campaign; ``ff_cases`` appends that many
+    fast-forward certification cases (arithmetic fast paths vs the
+    per-instruction interpreter on scheduled preemption windows).
     """
     from repro.validate.shrink import emit_reproducer, shrink_workload
 
@@ -444,6 +452,18 @@ def run_validate(
                 case_seed=uarch_seed,
                 invariants=tuple(sorted(
                     {v.invariant for v in uarch_violations})),
+                shrunk_tasks=0,
+            ))
+    for i in range(ff_cases):
+        ff_seed = derive_seed(seed, "validate-ff", i)
+        ff_violations = run_fastforward_case(ff_seed)
+        digest.update(f"ff:{ff_seed}:{len(ff_violations)}".encode())
+        if ff_violations:
+            failures.append(FailureSummary(
+                scheduler="fast-forward",
+                case_seed=ff_seed,
+                invariants=tuple(sorted(
+                    {v.invariant for v in ff_violations})),
                 shrunk_tasks=0,
             ))
     return ValidateReport(

@@ -328,8 +328,16 @@ def generate_uarch_ops(seed: int, n_cores: int = 2,
         roll = rng.random()
         core = rng.randrange(n_cores)
         addr = rng.choice(pool)
-        if roll < 0.55:
+        if roll < 0.45:
             ops.append(("access", core, addr,
+                        "data" if rng.random() < 0.7 else "inst"))
+        elif roll < 0.55:
+            # Batched walk (the Tier-2 fast path's entry point): must
+            # be indistinguishable from the same accesses issued one
+            # at a time against the reference.
+            many = tuple(rng.choice(pool)
+                         for _ in range(rng.randrange(2, 7)))
+            ops.append(("access_many", core, many,
                         "data" if rng.random() < 0.7 else "inst"))
         elif roll < 0.65:
             ops.append(("prefetch", core, addr))
@@ -376,6 +384,16 @@ def run_uarch_case(seed: int, n_cores: int = 2, n_ops: int = 400,
                 report("cache-accounting", step,
                        f"access core{core} {addr:#x} ({akind}) returned "
                        f"latency {got}, reference says {want}")
+        elif kind == "access_many":
+            _, core, addrs, akind = op
+            got = machine.hierarchy.access_many(core, addrs, kind=akind)
+            want = sum(ref.access(core, a, kind=akind) for a in addrs)
+            touched_addr = addrs[-1]
+            if got != want:
+                report("cache-accounting", step,
+                       f"access_many core{core} "
+                       f"{[hex(a) for a in addrs]} ({akind}) returned "
+                       f"total latency {got}, reference says {want}")
         elif kind == "prefetch":
             _, core, addr = op
             machine.hierarchy.prefetch(core, addr)
@@ -449,6 +467,118 @@ def run_uarch_case(seed: int, n_cores: int = 2, n_ops: int = 400,
             report(invariant, int(time), detail)
 
     UarchProbe(machine, _Collector()).check(float(len(ops)))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Fast-forward certification (arithmetic fast paths vs interpreter)
+# ----------------------------------------------------------------------
+def generate_ff_windows(seed: int, n_windows: int = 14) -> List[Tuple[float, float]]:
+    """Deterministic (gap, length) preemption-window schedule in ns.
+
+    Lengths span sub-warm-up slivers through multi-loop stretches, so a
+    case exercises the warm-up twin, the steady twin's partial-line and
+    whole-loop branches, and the periodic measure-certify-replay path.
+    """
+    rng = random.Random(seed)
+    windows: List[Tuple[float, float]] = []
+    for _ in range(n_windows):
+        gap = rng.uniform(50.0, 800.0)
+        length = rng.choice([
+            rng.uniform(5.0, 60.0),        # inside warm-up / one line
+            rng.uniform(100.0, 3_000.0),   # a few lines to a few loops
+            rng.uniform(5_000.0, 40_000.0),  # whole-loop multiplies
+        ])
+        windows.append((gap, length))
+    return windows
+
+
+def _run_ff_schedule(program_factory, windows, *, fast: bool):
+    """One single-core machine running ``windows`` preemption slices of
+    the factory's program, with the arithmetic fast paths on or off."""
+    machine = Machine(MachineConfig(n_cores=1))
+    core = machine.cores[0]
+    core.fast_forward = fast
+    program = program_factory()
+    t = 0.0
+    slices: List[Tuple[int, float]] = []
+    for gap, length in windows:
+        core.on_context_switch()
+        start = t + gap
+        retired, end = core.run_program(1, program, start, start + length)
+        slices.append((retired, end))
+        t = end
+    return machine, core, slices
+
+
+def _uarch_state_snapshot(machine: Machine) -> Tuple:
+    """Observable μarch end state: per-set residency of every level the
+    victim touches, plus iTLB/STLB contents."""
+    h, tlbs = machine.hierarchy, machine.tlbs
+    return (
+        tuple(sorted(h.l1i[0].occupied_sets())),
+        tuple(sorted(h.l1d[0].occupied_sets())),
+        tuple(sorted(h.l2[0].occupied_sets())),
+        tuple(sorted(h.llc.occupied_sets())),
+        tuple(sorted(tlbs.itlb[0].occupied_sets())),
+        tuple(sorted(tlbs.stlb[0].occupied_sets())),
+    )
+
+
+def run_fastforward_case(seed: int, n_windows: int = 14) -> List[Violation]:
+    """Certify the fast-forward paths against the interpreter oracle.
+
+    Two identical machines run the same preemption-window schedule, one
+    with every arithmetic fast path enabled and one forced through the
+    per-instruction interpreter.  For the *branchy* (periodic) victim
+    the contract is full bit-identity: retired counts, end times (to
+    the bit), final cache/TLB residency and core stats.  For the
+    straightline victim the steady twin performs the same arithmetic
+    with a different association order, so retired counts and residency
+    must match exactly while end times may drift by ULPs (bounded here
+    at a part in 10⁹).
+    """
+    from repro.cpu.program import StraightlineProgram, make_branchy_loop
+
+    windows = generate_ff_windows(seed, n_windows)
+    violations: List[Violation] = []
+
+    def report(invariant: str, step: int, detail: str) -> None:
+        if len(violations) < MAX_VIOLATIONS:
+            violations.append(Violation(invariant, float(step), detail))
+
+    cases = [
+        ("branchy", lambda: make_branchy_loop(0x400000), True),
+        ("branchy-long", lambda: make_branchy_loop(
+            0x400000, n_lines=2, taken_pattern=(True, True)), True),
+        ("straightline", lambda: StraightlineProgram(0x400000), False),
+    ]
+    for name, factory, exact in cases:
+        m_fast, c_fast, got = _run_ff_schedule(factory, windows, fast=True)
+        m_ref, c_ref, want = _run_ff_schedule(factory, windows, fast=False)
+        for step, (g, w) in enumerate(zip(got, want)):
+            if g[0] != w[0]:
+                report("ff-retired", step,
+                       f"{name}: window {step} retired {g[0]} fast vs "
+                       f"{w[0]} interpreted")
+            if exact:
+                if g[1] != w[1]:
+                    report("ff-time", step,
+                           f"{name}: window {step} end time "
+                           f"{g[1]!r} fast vs {w[1]!r} interpreted "
+                           f"(must be bit-equal)")
+            elif w[1] and abs(g[1] - w[1]) > 1e-9 * abs(w[1]):
+                report("ff-time", step,
+                       f"{name}: window {step} end time {g[1]!r} fast "
+                       f"drifted beyond ULP tolerance from {w[1]!r}")
+        if _uarch_state_snapshot(m_fast) != _uarch_state_snapshot(m_ref):
+            report("ff-uarch-state", len(windows),
+                   f"{name}: final cache/TLB residency diverged between "
+                   f"fast-forward and interpreted runs")
+        if exact and c_fast.stats != c_ref.stats:
+            report("ff-stats", len(windows),
+                   f"{name}: core stats diverged: {c_fast.stats} fast vs "
+                   f"{c_ref.stats} interpreted")
     return violations
 
 

@@ -1,0 +1,170 @@
+"""Content-addressed cell cache: correctness and identity guarantees.
+
+The cache may only ever be an invisible accelerator: a warm run must be
+digest-identical to a cold run for any ``jobs``, unsanitizable cells
+must never be cache-keyed, corruption must read as a miss, and
+``--no-cell-cache`` must force recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+from repro.obs.cellcache import CACHE_ENV, CellCache, cell_cache
+from repro.obs.manifest import result_digest, run_recorded
+from repro.parallel import starmap_kwargs
+
+
+def _cell(tau: float, seed: int) -> dict:
+    """Deterministic stand-in for an experiment cell."""
+    return {"tau": tau, "seed": seed, "value": tau * 3 + seed}
+
+
+#: Call counter so tests can tell a served cell from a recomputed one.
+_calls = {"n": 0}
+
+
+def _counting_cell(tau: float, seed: int) -> dict:
+    _calls["n"] += 1
+    return _cell(tau, seed)
+
+
+class TestKeying:
+    def test_key_stable_and_param_sensitive(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        a = cache.key_for("repro.x:cell", {"tau": 740.0, "seed": 1})
+        b = cache.key_for("repro.x:cell", {"tau": 740.0, "seed": 1})
+        c = cache.key_for("repro.x:cell", {"tau": 741.0, "seed": 1})
+        d = cache.key_for("repro.y:cell", {"tau": 740.0, "seed": 1})
+        assert a == b
+        assert len({a, c, d}) == 3
+
+    def test_unsanitizable_kwargs_are_not_keyed(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        assert cache.key_for("repro.x:cell", {"cb": lambda: None}) is None
+        assert cache.key_for("repro.x:cell",
+                             {"nested": {"obj": object()}}) is None
+
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert cell_cache() is None
+
+
+class TestStoreFetch:
+    def test_round_trip_preserves_digest(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        result = _cell(740.0, 1)
+        key = cache.key_for("repro.x:cell", {"tau": 740.0, "seed": 1})
+        cache.store(key, "repro.x:cell", result)
+        hit, cached = cache.fetch(key)
+        assert hit
+        assert result_digest(cached) == result_digest(result)
+        assert cache.digest_of(key) == result_digest(result)
+
+    def test_absent_key_misses(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        assert cache.fetch("0" * 64) == (False, None)
+        assert cache.digest_of("0" * 64) is None
+
+    def test_corrupt_entry_is_a_miss_not_a_wrong_answer(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        key = cache.key_for("repro.x:cell", {"tau": 740.0, "seed": 1})
+        cache.store(key, "repro.x:cell", _cell(740.0, 1))
+        path = cache._path(key)
+        # Tampered result: digest no longer matches.
+        with open(path, "rb") as fh:
+            entry = pickle.load(fh)
+        entry["result"]["value"] = -1
+        with open(path, "wb") as fh:
+            pickle.dump(entry, fh)
+        assert cache.fetch(key) == (False, None)
+        # Truncated pickle: unreadable.
+        with open(path, "wb") as fh:
+            fh.write(b"\x80")
+        assert cache.fetch(key) == (False, None)
+
+
+class TestPipelineIntegration:
+    CELLS = [{"tau": 440.0, "seed": 1}, {"tau": 830.0, "seed": 2}]
+
+    def test_warm_equals_cold_for_any_jobs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        monkeypatch.delenv("REPRO_MANIFEST_DIR", raising=False)
+        _calls["n"] = 0
+        cold = starmap_kwargs(_counting_cell, self.CELLS, jobs=1)
+        assert _calls["n"] == 2
+        warm_serial = starmap_kwargs(_counting_cell, self.CELLS, jobs=1)
+        warm_pooled = starmap_kwargs(_counting_cell, self.CELLS, jobs=2)
+        assert _calls["n"] == 2  # serial warm run computed nothing
+        assert result_digest(warm_serial) == result_digest(cold)
+        assert result_digest(warm_pooled) == result_digest(cold)
+
+    def test_no_env_recomputes(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        monkeypatch.delenv("REPRO_MANIFEST_DIR", raising=False)
+        _calls["n"] = 0
+        starmap_kwargs(_counting_cell, self.CELLS, jobs=1)
+        starmap_kwargs(_counting_cell, self.CELLS, jobs=1)
+        assert _calls["n"] == 4
+
+    def test_run_recorded_hit_marks_manifest(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "cc"))
+        out = str(tmp_path / "runs")
+        params = dict(tau=740.0, degrade_itlb=True, preemptions=40, seed=3)
+        _r1, m1, _ = run_recorded("resolution", params, out_dir=out)
+        _r2, m2, _ = run_recorded("resolution", params, out_dir=out)
+        assert m1.result_digest == m2.result_digest
+        assert m1.metrics.get("cellcache.hit") is None
+        assert m2.metrics.get("cellcache.hit") == 1
+
+
+class TestCli:
+    ARGS = ["--jobs", "1", "--seed", "3", "sweep", "--taus", "440,830",
+            "--preemptions", "40"]
+
+    @staticmethod
+    def _digest(manifest_dir):
+        (path,) = [p for p in os.listdir(manifest_dir)
+                   if p.startswith("run-")]
+        with open(os.path.join(manifest_dir, path)) as fh:
+            data = json.load(fh)
+        return data["result_digest"], data["metrics"].get("cellcache.hit")
+
+    def test_cold_warm_and_escape_hatch(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        cc = str(tmp_path / "cc")
+        assert main(["--manifest-dir", "a", "--cell-cache-dir", cc,
+                     *self.ARGS]) == 0
+        assert main(["--manifest-dir", "b", "--cell-cache-dir", cc,
+                     *self.ARGS]) == 0
+        assert main(["--manifest-dir", "c", "--cell-cache-dir", cc,
+                     "--no-cell-cache", *self.ARGS]) == 0
+        cold, cold_hit = self._digest(tmp_path / "a")
+        warm, warm_hit = self._digest(tmp_path / "b")
+        fresh, fresh_hit = self._digest(tmp_path / "c")
+        assert cold == warm == fresh
+        assert cold_hit is None and fresh_hit is None
+        assert warm_hit == 1
+        # Replay bypasses the cache and still verifies bit-identity.
+        (manifest,) = [p for p in os.listdir(tmp_path / "a")
+                       if p.startswith("run-")]
+        assert main(["--no-manifest", "replay",
+                     str(tmp_path / "a" / manifest)]) == 0
+
+    def test_cached_digest_matches_recompute(self, tmp_path, monkeypatch):
+        """The fuzz-smoke contract: a cached cell's stored digest equals
+        a from-scratch recompute of the same cell."""
+        from repro.experiments.resolution import run_resolution
+
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        params = dict(tau=740.0, degrade_itlb=True, preemptions=40, seed=3)
+        run_recorded("resolution", params)
+        cache = cell_cache()
+        key = cache.key_for("resolution", params)
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        fresh = run_resolution(**params)
+        assert cache.digest_of(key) == result_digest(fresh)

@@ -83,6 +83,41 @@ class TestCancellation:
         first.cancel()
         assert sim.peek_next_time() == 20.0
 
+    def test_cancel_burst_compacts_heap_without_losing_events(self):
+        # A mass-cancel triggers the in-place heap compaction; the
+        # surviving events must still fire, in order, exactly once.
+        sim = Simulator()
+        fired = []
+        keep = [sim.call_at(float(t), lambda t=t: fired.append(t))
+                for t in (5, 15, 25)]
+        doomed = [sim.call_at(1e18 + i, lambda: fired.append(-1))
+                  for i in range(100)]
+        for handle in doomed:
+            handle.cancel()
+        assert sim.pending_count() == 3
+        assert len(sim._heap) < 10  # garbage actually collected
+        sim.run_until(30.0)
+        assert fired == [5, 15, 25]
+        assert all(h.fired for h in keep)
+
+    def test_cancel_inside_callback_compacts_safely(self):
+        # run_until holds a local alias to the heap; compaction from a
+        # callback must mutate that same list, not rebind it.
+        sim = Simulator()
+        fired = []
+        doomed = [sim.call_at(1e18 + i, lambda: fired.append(-1))
+                  for i in range(50)]
+
+        def cancel_all_then_reschedule():
+            for handle in doomed:
+                handle.cancel()
+            sim.call_after(1.0, lambda: fired.append("late"))
+
+        sim.call_at(10.0, cancel_all_then_reschedule)
+        sim.run_until(20.0)
+        assert fired == ["late"]
+        assert sim.pending_count() == 0
+
 
 class TestRunControl:
     def test_run_until_stops_at_deadline(self):
