@@ -1,0 +1,65 @@
+"""BENCH_*.json trajectory: print the speedup curve, gate regressions.
+
+Thin script front-end over :mod:`repro.analysis.bench_trajectory` (the
+same code behind ``repro bench compare``), runnable straight from a
+checkout:
+
+    PYTHONPATH=src python benchmarks/bench_history.py
+    PYTHONPATH=src python benchmarks/bench_history.py --check
+    python benchmarks/bench_history.py --check --threshold 0.1
+
+``--check`` exits non-zero when the newest point's
+``engine_events_per_sec`` falls more than ``--threshold`` (default 20 %)
+below the best prior point with the same ``cpu_count`` and
+``uarch_backend`` stamps — so a CI runner is never graded against a
+dev-machine record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+try:
+    from repro.analysis.bench_trajectory import (
+        DEFAULT_METRIC, DEFAULT_THRESHOLD, check_regression, load_history,
+        render_curve,
+    )
+except ImportError:  # run without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(_HERE, os.pardir, "src"))
+    from repro.analysis.bench_trajectory import (
+        DEFAULT_METRIC, DEFAULT_THRESHOLD, check_regression, load_history,
+        render_curve,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=_HERE, metavar="DIR",
+                        help="directory holding BENCH_*.json "
+                             "(default: benchmarks/)")
+    parser.add_argument("--metric", default=DEFAULT_METRIC,
+                        help=f"optimized-section metric to plot and gate "
+                             f"(default: {DEFAULT_METRIC})")
+    parser.add_argument("--check", action="store_true",
+                        help="gate the newest point against the best prior "
+                             "comparable point (exit 1 on regression)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fractional drop that fails --check "
+                             f"(default: {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+
+    points = load_history(args.dir)
+    print(render_curve(points, metric=args.metric))
+    if not args.check:
+        return 0
+    check = check_regression(points, metric=args.metric,
+                             threshold=args.threshold)
+    print(check.message)
+    return 0 if check.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,22 @@ JOBS_USED = {
 }
 
 
+def git_commit() -> str:
+    """HEAD commit hash, or ``"unknown"`` outside a git checkout —
+    stamps every trajectory point so two BENCH entries are attributable
+    to the exact code they measured."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO,
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
 def best_of(fn, n: int = BEST_OF) -> float:
     """Minimum of ``n`` timed runs of ``fn`` (first run doubles as the
     warm-up that pays lazy imports and allocator growth)."""
@@ -260,6 +276,12 @@ def main() -> int:
     report = {
         "date": datetime.date.today().isoformat(),
         "python": platform.python_version(),
+        "git_commit": git_commit(),
+        # The backend is a perf-relevant knob, not leakage — record it
+        # (and leave it set) so dict- and array-backend points in the
+        # trajectory are distinguishable.
+        "uarch_backend":
+            os.environ.get("REPRO_UARCH_BACKEND", "").strip() or "dict",
         "cpu_count": os.cpu_count(),
         "repro_scale": float(os.environ.get("REPRO_SCALE", "0.05") or 0.05),
         "timing": f"best of {BEST_OF}, imports excluded",

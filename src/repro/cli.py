@@ -250,10 +250,104 @@ def _cmd_stats(args: argparse.Namespace) -> None:
         _run(args, args.experiment, _traceable_params(args))
         obs = obs_mod.get_obs()
         obs.publish()
-        print(obs.metrics.render())
+        if args.format == "openmetrics":
+            from repro.obs.telemetry import render_openmetrics
+
+            sys.stdout.write(render_openmetrics(obs.metrics))
+        else:
+            print(obs.metrics.render())
     finally:
         os.environ.pop("REPRO_METRICS", None)
         obs_mod.reset()
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import render_report, write_telemetry
+
+    if not os.path.isdir(args.run_dir):
+        print(f"no such run directory: {args.run_dir}", file=sys.stderr)
+        return 1
+    if args.write:
+        path = write_telemetry(args.run_dir)
+        print(f"[telemetry] {path}", file=sys.stderr)
+    print(render_report(args.run_dir))
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.bench_trajectory import (
+        check_regression, load_history, render_curve,
+    )
+
+    points = load_history(args.dir)
+    print(render_curve(points, metric=args.metric))
+    if not args.check:
+        return 0
+    check = check_regression(points, metric=args.metric,
+                             threshold=args.threshold)
+    print(check.message)
+    return 0 if check.ok else 1
+
+
+def _duration_s(value: str) -> float:
+    """``--older-than``: seconds, or a number suffixed s/m/h/d."""
+    value = value.strip().lower()
+    factor = 1.0
+    suffixes = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    if value and value[-1] in suffixes:
+        factor = suffixes[value[-1]]
+        value = value[:-1]
+    try:
+        seconds = float(value) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a duration like 3600, 30m, 12h or 7d, got {value!r}"
+        )
+    if seconds < 0:
+        raise argparse.ArgumentTypeError("duration must be >= 0")
+    return seconds
+
+
+def _cache_dir_for(args: argparse.Namespace) -> str:
+    cache_dir = getattr(args, "cell_cache_dir", None)
+    if cache_dir is None:
+        cache_dir = os.path.join(args.manifest_dir, "cellcache")
+    return cache_dir
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.obs.cellcache import CellCache
+
+    cache_dir = _cache_dir_for(args)
+    if not os.path.isdir(cache_dir):
+        print(f"cell cache {cache_dir}: empty (directory does not exist)")
+        return 0
+    stats = CellCache(cache_dir).stats()
+    print(f"cell cache {stats['directory']}")
+    print(f"  entries  {stats['entries']:,}")
+    print(f"  bytes    {stats['bytes']:,}")
+    if stats["entries"]:
+        import time
+
+        now = time.time()
+        print(f"  oldest   {now - stats['oldest_mtime']:,.0f} s ago")
+        print(f"  newest   {now - stats['newest_mtime']:,.0f} s ago")
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    from repro.obs.cellcache import CellCache
+
+    cache_dir = _cache_dir_for(args)
+    if not os.path.isdir(cache_dir):
+        print(f"cell cache {cache_dir}: nothing to prune")
+        return 0
+    outcome = CellCache(cache_dir).prune(args.older_than)
+    print(f"pruned {outcome['removed']} entr"
+          f"{'y' if outcome['removed'] == 1 else 'ies'} "
+          f"({outcome['removed_bytes']:,} bytes); "
+          f"{outcome['kept']} kept")
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -343,6 +437,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--metrics", action="store_true",
                         help="collect metrics and print the table after the run")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect per-cell metrics (implies --metrics "
+                             "recording) and write telemetry.json beside "
+                             "the run manifests")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="record a Chrome/Perfetto trace to FILE")
     parser.add_argument("--progress", action="store_true",
@@ -426,7 +524,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("experiment", choices=("resolution", "budget"))
     p.add_argument("--tau", type=float, default=740.0)
     p.add_argument("--preemptions", type=int, default=300)
+    p.add_argument("--format", choices=("table", "openmetrics"),
+                   default="table",
+                   help="output format: human table (default) or "
+                        "OpenMetrics text exposition")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "report",
+        help="render a run-health report (events/s, fast-forward "
+             "coverage, cache hit rates, attack counters, timing) from "
+             "a run directory's manifests",
+    )
+    p.add_argument("run_dir", help="directory holding run-*/cell-*.json "
+                                   "manifests (e.g. runs/)")
+    p.add_argument("--write", action="store_true",
+                   help="also write/update telemetry.json in the run dir")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark trajectory tools over benchmarks/BENCH_*.json",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    b = bench_sub.add_parser(
+        "compare",
+        help="print the speedup curve; --check gates the newest point "
+             "against the best prior comparable point",
+    )
+    b.add_argument("--dir", default="benchmarks", metavar="DIR",
+                   help="directory holding BENCH_*.json "
+                        "(default: benchmarks/)")
+    b.add_argument("--metric", default="engine_events_per_sec",
+                   help="optimized-section metric to compare "
+                        "(default: engine_events_per_sec)")
+    b.add_argument("--check", action="store_true",
+                   help="exit 1 when the newest point regresses beyond "
+                        "--threshold")
+    b.add_argument("--threshold", type=float, default=0.20,
+                   help="fractional drop that fails --check "
+                        "(default: 0.20)")
+    b.set_defaults(func=_cmd_bench_compare)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or prune the content-addressed cell-result cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    c = cache_sub.add_parser("stats",
+                             help="entry count, bytes on disk, age range")
+    c.set_defaults(func=_cmd_cache_stats)
+    c = cache_sub.add_parser("prune", help="age-based eviction")
+    c.add_argument("--older-than", type=_duration_s, required=True,
+                   metavar="AGE",
+                   help="remove entries older than AGE "
+                        "(seconds, or suffixed s/m/h/d, e.g. 7d)")
+    c.set_defaults(func=_cmd_cache_prune)
 
     p = sub.add_parser(
         "validate",
@@ -489,7 +642,13 @@ def _configure_obs(args: argparse.Namespace) -> None:
         else:
             os.environ.pop(name, None)
 
-    _set("REPRO_METRICS", bool(getattr(args, "metrics", False)))
+    telemetry = bool(getattr(args, "telemetry", False))
+    # --telemetry needs the workers to record metric snapshots into
+    # their cell manifests, so it implies metric *collection* (the
+    # post-run table still prints only with an explicit --metrics).
+    _set("REPRO_METRICS",
+         bool(getattr(args, "metrics", False)) or telemetry)
+    _set("REPRO_TELEMETRY", telemetry)
     _set("REPRO_TRACE", getattr(args, "trace", None) is not None)
     _set("REPRO_PROGRESS", bool(getattr(args, "progress", False)))
     manifest_dir = None if args.no_manifest else args.manifest_dir
@@ -519,6 +678,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "trace", None) and obs.tracer.enabled:
         n = obs.tracer.export(args.trace)
         print(f"[trace] wrote {n} events to {args.trace}", file=sys.stderr)
+    if (getattr(args, "telemetry", False) and not args.no_manifest
+            and os.path.isdir(args.manifest_dir)):
+        from repro.obs.telemetry import write_telemetry
+
+        path = write_telemetry(args.manifest_dir)
+        print(f"[telemetry] {path}", file=sys.stderr)
     return rc
 
 

@@ -118,6 +118,13 @@ class ControlledPreemption:
         self._m_samples = metrics.counter("attack.samples")
         self._m_exhausted = metrics.counter("attack.budget_exhausted")
         self._m_seek_rounds = metrics.counter("attack.seek_rounds")
+        # Count-flavoured buckets: preemptions won inside one attack
+        # window range from a handful (budget-starved) to ~1e5 (full
+        # amplification sweep).
+        self._h_preemptions = metrics.histogram(
+            "attack.preemptions_per_window",
+            buckets=(1, 10, 100, 1_000, 10_000, 100_000),
+        )
         self.task = Task(name, body=CoroutineBody(self._body()), nice=nice)
 
     # ------------------------------------------------------------------
@@ -181,6 +188,7 @@ class ControlledPreemption:
                 yield act.Pause()
         if cfg.method is WakeupMethod.TIMER:
             yield act.TimerCancel()
+        self._h_preemptions.observe(len(self.samples))
         yield act.Exit()
 
     # ------------------------------------------------------------------

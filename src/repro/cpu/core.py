@@ -50,6 +50,30 @@ class CoreStats:
     stores: int = 0
     mispredicts: int = 0
     speculative_issues: int = 0
+    # Fast-path introspection (telemetry): which arithmetic fast paths
+    # engaged, how many instructions they retired without touching
+    # μarch state, and how often certification fell back to the
+    # per-instruction interpreter.  Plain int adds once per *window*
+    # (never per instruction), pulled into gauges at snapshot time.
+    ff_steady_windows: int = 0
+    ff_warmup_windows: int = 0
+    ff_periodic_windows: int = 0
+    ff_loop_windows: int = 0
+    ff_uniform_bulk_retires: int = 0
+    ff_insts_fast_forwarded: int = 0
+    ff_periodic_fallbacks: int = 0
+    spec_early_outs: int = 0
+
+    def architectural(self):
+        """The architecturally-meaningful counters only.
+
+        The ``ff_*``/``spec_*`` introspection fields describe *which
+        code path* retired the instructions, so they legitimately differ
+        between a fast-forwarded run and its interpreted twin; oracles
+        certifying fast-forward equivalence compare this view instead of
+        whole-struct equality."""
+        return (self.instructions_retired, self.loads, self.stores,
+                self.mispredicts, self.speculative_issues)
 
 
 class Core:
@@ -205,6 +229,8 @@ class Core:
                         count, t = warm
                         program.retire_bulk(count)
                         self.stats.instructions_retired += count
+                        self.stats.ff_warmup_windows += 1
+                        self.stats.ff_insts_fast_forwarded += count
                         retired += count
                         continue
                 steady = self._try_steady_fast_forward(asid, program, t, deadline)
@@ -212,6 +238,8 @@ class Core:
                     count, t = steady
                     program.retire_bulk(count)
                     self.stats.instructions_retired += count
+                    self.stats.ff_steady_windows += 1
+                    self.stats.ff_insts_fast_forwarded += count
                     retired += count
                     continue
                 periodic = self._try_periodic_fast_forward(
@@ -229,6 +257,8 @@ class Core:
                     count = loops * profile.insts_per_loop
                     program.retired += count
                     self.stats.instructions_retired += count
+                    self.stats.ff_loop_windows += 1
+                    self.stats.ff_insts_fast_forwarded += count
                     retired += count
                     t += elapsed
                     continue
@@ -251,6 +281,8 @@ class Core:
                     # arithmetically without touching uarch state.
                     program.retire_bulk(bulk)
                     self.stats.instructions_retired += bulk
+                    self.stats.ff_uniform_bulk_retires += 1
+                    self.stats.ff_insts_fast_forwarded += bulk
                     retired += bulk
                     t += bulk * per_inst
         if spec_lookahead > 0 and retired >= 0:
@@ -501,6 +533,7 @@ class Core:
         post = tuple(v for lvl in levels for v in (lvl.version, lvl.misses))
         if (post != pre or self.stats.mispredicts != pre_mispredicts
                 or self.btb.snapshot(pcs) != pre_btb):
+            self.stats.ff_periodic_fallbacks += 1
             return executed, t  # no fixed point; the slow path continues
         remaining = program.instructions_remaining(program.retired)
         replayed = 0
@@ -517,6 +550,8 @@ class Core:
         if replayed:
             program.retire_bulk(replayed)
             self.stats.instructions_retired += replayed
+            self.stats.ff_periodic_windows += 1
+            self.stats.ff_insts_fast_forwarded += replayed
             executed += replayed
         return executed, t
 
@@ -576,6 +611,7 @@ class Core:
             # window is a base-cost (non-memory, unfenced) op, so the
             # scan below would collect nothing.  The victim loops of
             # §4.3 hit this on every preemption.
+            self.stats.spec_early_outs += 1
             return
         last_retired = program.instruction_at(retired - 1)
         if last_retired is not None and last_retired.fenced:

@@ -297,6 +297,7 @@ class Kernel:
         self._m_deny = metrics.counter("sched.wakeup_preempt.denied")
         self._h_wakeup_lag = metrics.histogram("sched.wakeup_lag_ns")
         self._m_timer_fires = metrics.counter("kernel.timer_fires")
+        self._m_migrations = metrics.counter("kernel.migrations")
         if self._metrics_on:
             self.obs.attach_kernel(self)
         self._trace = self.obs.tracer
@@ -879,6 +880,8 @@ class Kernel:
         for cpu in range(len(self.cpus)):
             self._charge_upto(cpu, now)
         migrations = self.balancer.balance(now)
+        if migrations:
+            self._m_migrations.inc(len(migrations))
         for migration in migrations:
             self.tracer.record_migration(MigrationRecord(
                 migration.time, migration.src_cpu, migration.dst_cpu,

@@ -78,7 +78,10 @@ class Observability:
 
     def publish(self) -> None:
         """Pull engine/μarch statistics into gauges (no-op when metrics
-        are disabled or no kernel has been built yet)."""
+        are disabled or no kernel has been built yet).  With tracing on,
+        every scalar is also emitted as a Perfetto counter-track point
+        stamped at the current simulated time, so repeated publishes
+        build stepped throughput/coverage charts alongside the spans."""
         if not self.metrics.enabled or self._kernel_ref is None:
             return
         kernel = self._kernel_ref()
@@ -87,6 +90,14 @@ class Observability:
         from repro.obs.collect import publish_kernel_metrics
 
         publish_kernel_metrics(kernel, self.metrics)
+        if self.tracer.enabled:
+            from repro.obs.metrics import Histogram
+
+            now = kernel.sim.now
+            for name in self.metrics.names():
+                metric = self.metrics.get(name)
+                if not isinstance(metric, Histogram):
+                    self.tracer.counter(name, now, 0, metric.value)
 
     @classmethod
     def from_env(cls) -> "Observability":

@@ -124,8 +124,10 @@ class CellCache:
         """
         try:
             with open(self._path(key), "rb") as fh:
-                entry = pickle.load(fh)
+                data = fh.read()
+            entry = pickle.loads(data)
             result = entry["result"]
+            self._count("digest_verifies")
             if result_digest(result) != entry["digest"]:
                 self._count("corrupt")
                 return False, None
@@ -134,6 +136,7 @@ class CellCache:
             self._count("misses")
             return False, None
         self._count("hits")
+        self._count("bytes_read", len(data))
         return True, result
 
     def store(self, key: str, experiment: str, result: Any) -> Optional[str]:
@@ -165,6 +168,10 @@ class CellCache:
             # not cache; the computed result is still returned upstream.
             return None
         self._count("stores")
+        try:
+            self._count("bytes_written", os.path.getsize(path))
+        except OSError:
+            pass
         return path
 
     def digest_of(self, key: str) -> Optional[str]:
@@ -180,10 +187,79 @@ class CellCache:
             return None
 
     # ------------------------------------------------------------------
+    # Introspection / maintenance (``repro cache stats`` / ``prune``)
+    # ------------------------------------------------------------------
+    def _entries(self):
+        """Yield ``(path, stat)`` for every committed cache entry.
+
+        In-flight temp files (``.cell-*.tmp``) are skipped; entries that
+        vanish mid-scan (a concurrent prune) are silently dropped."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in sorted(names):
+            if not (name.startswith("cell-") and name.endswith(".pkl")):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                yield path, os.stat(path)
+            except OSError:
+                continue
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, bytes on disk, and entry-age range in seconds."""
+        entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for _path, st in self._entries():
+            entries += 1
+            total_bytes += st.st_size
+            if oldest is None or st.st_mtime < oldest:
+                oldest = st.st_mtime
+            if newest is None or st.st_mtime > newest:
+                newest = st.st_mtime
+        return {
+            "directory": self.directory,
+            "entries": entries,
+            "bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(self, older_than_s: float, *,
+              now: Optional[float] = None) -> Dict[str, int]:
+        """Remove entries whose mtime is more than ``older_than_s``
+        seconds old.  Removal is a single ``unlink`` per entry (atomic
+        on POSIX); entries already gone count as removed, not errors."""
+        import time
+
+        cutoff = (time.time() if now is None else now) - older_than_s
+        removed = 0
+        removed_bytes = 0
+        kept = 0
+        for path, st in self._entries():
+            if st.st_mtime < cutoff:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+                except OSError:
+                    kept += 1
+                    continue
+                removed += 1
+                removed_bytes += st.st_size
+            else:
+                kept += 1
+        return {"removed": removed, "removed_bytes": removed_bytes,
+                "kept": kept}
+
+    # ------------------------------------------------------------------
     @staticmethod
-    def _count(event: str) -> None:
+    def _count(event: str, n: int = 1) -> None:
         from repro.obs import get_obs
 
         metrics = get_obs().metrics
         if metrics.enabled:
-            metrics.counter(f"cellcache.{event}").inc()
+            metrics.counter(f"cellcache.{event}").inc(n)

@@ -29,6 +29,7 @@ def publish_kernel_metrics(kernel, metrics: MetricsRegistry) -> None:
     metrics.gauge("sim.heap_depth").set(len(sim._heap))
     metrics.gauge("sim.pending_events").set(sim.pending_count())
     metrics.gauge("sim.now_ns").set(sim.now)
+    metrics.gauge("sim.heap_compactions").set(sim.compactions)
 
     machine = kernel.machine
     hierarchy = machine.hierarchy
@@ -71,5 +72,32 @@ def publish_kernel_metrics(kernel, metrics: MetricsRegistry) -> None:
     )
     metrics.gauge("cpu.speculative_issues").set(
         sum(core.stats.speculative_issues for core in machine.cores)
+    )
+    metrics.gauge("cpu.spec_early_outs").set(
+        sum(core.stats.spec_early_outs for core in machine.cores)
+    )
+
+    # Fast-forward introspection: how much of the instruction stream the
+    # certified fast paths absorbed, and which path did the absorbing.
+    stats = [core.stats for core in machine.cores]
+    for field, name in (
+        ("ff_steady_windows", "ff.windows.steady"),
+        ("ff_warmup_windows", "ff.windows.warmup"),
+        ("ff_periodic_windows", "ff.windows.periodic"),
+        ("ff_loop_windows", "ff.windows.loop"),
+        ("ff_uniform_bulk_retires", "ff.uniform_bulk_retires"),
+        ("ff_periodic_fallbacks", "ff.periodic_fallbacks"),
+        ("ff_insts_fast_forwarded", "ff.insts_fast_forwarded"),
+    ):
+        metrics.gauge(name).set(sum(getattr(s, field) for s in stats))
+    retired = sum(s.instructions_retired for s in stats)
+    fast = sum(s.ff_insts_fast_forwarded for s in stats)
+    metrics.gauge("ff.coverage").set(fast / retired if retired else 0.0)
+
+    # Batched-access accounting and backend selection (array=1, dict=0).
+    metrics.gauge("uarch.access_many.calls").set(hierarchy.batch_calls)
+    metrics.gauge("uarch.access_many.addrs").set(hierarchy.batch_addrs)
+    metrics.gauge("uarch.backend_array").set(
+        0 if hierarchy.llc.__class__.__name__ == "CacheLevel" else 1
     )
     metrics.gauge("kernel.tasks").set(len(kernel.tasks))

@@ -288,10 +288,19 @@ def record_cell(fn: Callable[..., Any], kwargs: Dict[str, Any],
     Called inside the worker process, so the manifest reflects the
     cell's own derived seed and the worker's metrics registry.
     """
+    # The cell runs against a *fresh* metrics registry (folded back into
+    # the process registry afterwards), so its manifest snapshots only
+    # what this cell did.  Without the scope the snapshot would be the
+    # worker's cumulative registry — a function of how the pool packed
+    # cells onto workers — and cross-job telemetry aggregation
+    # (:mod:`repro.obs.telemetry`) could never be ``--jobs``-invariant.
+    from repro.obs.telemetry import cell_metrics_scope
+
     experiment = f"{fn.__module__}:{fn.__qualname__}"
-    result, manifest = _capture(
-        experiment, kwargs, lambda: fn(**kwargs), kind="cell"
-    )
+    with cell_metrics_scope():
+        result, manifest = _capture(
+            experiment, kwargs, lambda: fn(**kwargs), kind="cell"
+        )
     try:
         manifest.save(out_dir)
     except OSError:

@@ -95,6 +95,24 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical bounds into this one
+        (bucket-wise add) — used when per-cell telemetry registries are
+        folded back into the process-wide registry."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
     def to_dict(self) -> dict:
         buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}
         buckets["inf"] = self.counts[-1]

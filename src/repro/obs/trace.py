@@ -75,6 +75,19 @@ class EventTracer:
         if self.enabled:
             self.events.append(("i", name, ts_ns, pid, tid, args))
 
+    def counter(self, name: str, ts_ns: float, pid: int,
+                value: float) -> None:
+        """One point on a Perfetto counter track (``C`` event).
+
+        Counter tracks render as stepped line charts under the process
+        lane — the metrics registry's scalars are emitted here at
+        snapshot/publish time so fast-forward coverage, cache hit rates
+        and attack progress are visible on the same timeline as the
+        scheduling spans."""
+        if self.enabled:
+            self.events.append(("C", name, ts_ns, pid, 0,
+                                {"value": value}))
+
     def thread_name(self, pid: int, tid: int, name: str) -> None:
         """Label track (pid, tid); survives ring wraparound."""
         if self.enabled:

@@ -86,6 +86,7 @@ class Event:
                     heap[:] = [entry for entry in heap
                                if not entry[3].cancelled]
                     heapify(heap)
+                    sim.compactions += 1
 
 
 #: Backward-compatible alias: ``call_at`` used to return a separate
@@ -111,7 +112,7 @@ class Simulator:
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_live", "_running",
-                 "events_fired")
+                 "events_fired", "compactions")
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -124,6 +125,9 @@ class Simulator:
         #: event; everything else obs needs is pulled from existing
         #: state at snapshot time.
         self.events_fired = 0
+        #: Lazy-deletion heap rebuilds performed (telemetry; pulled at
+        #: snapshot time like every other engine statistic).
+        self.compactions = 0
 
     @property
     def now(self) -> float:

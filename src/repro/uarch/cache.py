@@ -372,6 +372,12 @@ class MemoryHierarchy:
         self.l1d = [level(f"L1D#{c}", self.geometry.l1d) for c in range(n_cores)]
         self.l2 = [level(f"L2#{c}", self.geometry.l2) for c in range(n_cores)]
         self.llc = level("LLC", self.geometry.llc)
+        #: Batched-access accounting (telemetry; pulled at snapshot time):
+        #: number of ``access_many``/toucher batches and total addresses
+        #: they carried.  Plain int adds, one per *batch* — never per
+        #: address — so the disabled-observability overhead guard holds.
+        self.batch_calls = 0
+        self.batch_addrs = 0
         # Hoisted load-to-use latencies (the model is frozen).
         self._l1_hit = latency.l1_hit
         self._l2_hit = latency.l2_hit
@@ -466,11 +472,15 @@ class MemoryHierarchy:
             if count_stats:
                 l1.hits += hits
                 l1.misses += misses
+            self.batch_calls += 1
+            self.batch_addrs += hits + misses
             return total
         l1_lookup = l1.lookup
         l2_lookup = l2.lookup
         llc_lookup = llc.lookup
+        n_addrs = 0
         for addr in addrs:
+            n_addrs += 1
             if l1_lookup(addr, count_stats=count_stats):
                 total += self._l1_hit
             elif l2_lookup(addr, count_stats=count_stats):
@@ -487,6 +497,8 @@ class MemoryHierarchy:
                 l2.fill(addr)
                 l1.fill(addr)
                 total += self._dram
+        self.batch_calls += 1
+        self.batch_addrs += n_addrs
         return total
 
     def make_line_toucher(self, core: int, addrs: Iterable[int],
@@ -527,7 +539,11 @@ class MemoryHierarchy:
         llc_fill = llc.fill
         back_invalidate = self._back_invalidate
 
+        n_lines = len(pairs)
+
         def touch() -> int:
+            self.batch_calls += 1
+            self.batch_addrs += n_lines
             total = 0
             hits = 0
             misses = 0

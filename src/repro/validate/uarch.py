@@ -575,7 +575,10 @@ def run_fastforward_case(seed: int, n_windows: int = 14) -> List[Violation]:
             report("ff-uarch-state", len(windows),
                    f"{name}: final cache/TLB residency diverged between "
                    f"fast-forward and interpreted runs")
-        if exact and c_fast.stats != c_ref.stats:
+        # Architectural view only: the ff_*/spec_* introspection fields
+        # record which code path retired the stream, so they differ by
+        # construction between the two runs.
+        if exact and c_fast.stats.architectural() != c_ref.stats.architectural():
             report("ff-stats", len(windows),
                    f"{name}: core stats diverged: {c_fast.stats} fast vs "
                    f"{c_ref.stats} interpreted")

@@ -1,0 +1,148 @@
+"""Bench-trajectory parsing, curve rendering, and regression gating."""
+
+import json
+
+from repro.analysis.bench_trajectory import (
+    check_regression,
+    load_history,
+    render_curve,
+)
+from repro.cli import main
+
+
+def _write_point(bench_dir, date, events, *, cpu_count=4, backend="dict",
+                 commit="abc123", extra=None):
+    data = {
+        "date": date,
+        "git_commit": commit,
+        "uarch_backend": backend,
+        "cpu_count": cpu_count,
+        "optimized": {"engine_events_per_sec": events},
+    }
+    if extra:
+        data.update(extra)
+    path = bench_dir / f"BENCH_{date}.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestLoadHistory:
+    def test_sorted_by_date(self, tmp_path):
+        _write_point(tmp_path, "2026-02-01", 200)
+        _write_point(tmp_path, "2026-01-01", 100)
+        points = load_history(str(tmp_path))
+        assert [p.date for p in points] == ["2026-01-01", "2026-02-01"]
+
+    def test_unparseable_and_incomplete_files_skipped(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_2026-01-02.json").write_text('{"date": "x"}')
+        _write_point(tmp_path, "2026-01-01", 100)
+        assert len(load_history(str(tmp_path))) == 1
+
+    def test_missing_stamps_default(self, tmp_path):
+        path = tmp_path / "BENCH_2026-01-01.json"
+        path.write_text(json.dumps(
+            {"date": "2026-01-01",
+             "optimized": {"engine_events_per_sec": 1}}))
+        point = load_history(str(tmp_path))[0]
+        assert point.git_commit == "unknown"
+        assert point.uarch_backend == "dict"
+        assert point.cpu_count is None
+
+
+class TestRegressionGate:
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        _write_point(tmp_path, "2026-01-01", 1000)
+        _write_point(tmp_path, "2026-01-02", 700)
+        check = check_regression(load_history(str(tmp_path)), threshold=0.20)
+        assert not check.ok
+        assert "REGRESSION" in check.message
+
+    def test_drop_within_threshold_passes(self, tmp_path):
+        _write_point(tmp_path, "2026-01-01", 1000)
+        _write_point(tmp_path, "2026-01-02", 900)
+        assert check_regression(load_history(str(tmp_path))).ok
+
+    def test_gated_against_best_prior_not_latest(self, tmp_path):
+        _write_point(tmp_path, "2026-01-01", 1000)
+        _write_point(tmp_path, "2026-01-02", 100)  # an old regression
+        _write_point(tmp_path, "2026-01-03", 700)
+        check = check_regression(load_history(str(tmp_path)))
+        assert not check.ok  # 700 vs best prior 1000, not vs 100
+
+    def test_incomparable_hardware_ignored(self, tmp_path):
+        _write_point(tmp_path, "2026-01-01", 1000, cpu_count=64)
+        _write_point(tmp_path, "2026-01-02", 100, cpu_count=2)
+        check = check_regression(load_history(str(tmp_path)))
+        assert check.ok
+        assert "no prior comparable point" in check.message
+
+    def test_backend_mismatch_is_incomparable(self, tmp_path):
+        _write_point(tmp_path, "2026-01-01", 1000, backend="dict")
+        _write_point(tmp_path, "2026-01-02", 100, backend="array")
+        assert check_regression(load_history(str(tmp_path))).ok
+
+    def test_empty_history_passes(self, tmp_path):
+        check = check_regression(load_history(str(tmp_path)))
+        assert check.ok
+
+
+class TestRendering:
+    def test_curve_lists_every_point(self, tmp_path):
+        _write_point(tmp_path, "2026-01-01", 500, commit="deadbeef00")
+        _write_point(tmp_path, "2026-01-02", 1000,
+                     extra={"speedup": {"engine_events_per_sec": 2.0}})
+        curve = render_curve(load_history(str(tmp_path)))
+        assert "2026-01-01" in curve and "2026-01-02" in curve
+        assert "deadbeef00" in curve
+        assert "peak: 1,000" in curve
+        assert "vs seed" in curve
+
+    def test_empty_history_message(self, tmp_path):
+        assert "no BENCH" in render_curve(load_history(str(tmp_path)))
+
+
+class TestCli:
+    def test_bench_compare_check_exit_codes(self, tmp_path, capsys):
+        _write_point(tmp_path, "2026-01-01", 1000)
+        _write_point(tmp_path, "2026-01-02", 980)
+        assert main(["bench", "compare", "--dir", str(tmp_path),
+                     "--check"]) == 0
+        capsys.readouterr()
+        _write_point(tmp_path, "2026-01-03", 100)
+        assert main(["bench", "compare", "--dir", str(tmp_path),
+                     "--check"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_compare_threshold_flag(self, tmp_path, capsys):
+        _write_point(tmp_path, "2026-01-01", 1000)
+        _write_point(tmp_path, "2026-01-02", 920)
+        assert main(["bench", "compare", "--dir", str(tmp_path),
+                     "--check", "--threshold", "0.05"]) == 1
+        capsys.readouterr()
+
+    def test_bench_history_script_runs(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        _write_point(tmp_path, "2026-01-01", 1000)
+        script = Path(__file__).parent.parent / "benchmarks" / \
+            "bench_history.py"
+        out = subprocess.run(
+            [sys.executable, str(script), "--dir", str(tmp_path), "--check"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "bench trajectory" in out.stdout
+
+    def test_perf_report_stamps_commit_and_backend(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "benchmarks" / "perf_report.py"
+        spec = importlib.util.spec_from_file_location("perf_report", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        commit = module.git_commit()
+        assert isinstance(commit, str) and commit

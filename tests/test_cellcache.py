@@ -168,3 +168,70 @@ class TestCli:
         monkeypatch.delenv(CACHE_ENV, raising=False)
         fresh = run_resolution(**params)
         assert cache.digest_of(key) == result_digest(fresh)
+
+
+class TestStatsAndPrune:
+    def _populate(self, tmp_path, n):
+        cache = CellCache(str(tmp_path))
+        keys = []
+        for i in range(n):
+            key = cache.key_for("cell", {"i": i})
+            cache.store(key, "cell", _cell(float(i), i))
+            keys.append(key)
+        return cache, keys
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache, _keys = self._populate(tmp_path, 3)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["oldest_mtime"] <= stats["newest_mtime"]
+
+    def test_stats_empty_directory(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        stats = cache.stats()
+        assert stats["entries"] == 0 and stats["bytes"] == 0
+        assert stats["oldest_mtime"] is None
+
+    def test_stats_skips_inflight_tmp_files(self, tmp_path):
+        cache, _keys = self._populate(tmp_path, 1)
+        (tmp_path / ".cell-xyz.tmp").write_bytes(b"partial")
+        assert cache.stats()["entries"] == 1
+
+    def test_prune_by_age(self, tmp_path):
+        import time
+
+        cache, keys = self._populate(tmp_path, 3)
+        # Backdate the first two entries far past any cutoff.
+        now = time.time()
+        for key in keys[:2]:
+            os.utime(cache._path(key), (now - 1000, now - 1000))
+        outcome = cache.prune(500.0, now=now)
+        assert outcome == {"removed": 2,
+                           "removed_bytes": outcome["removed_bytes"],
+                           "kept": 1}
+        assert outcome["removed_bytes"] > 0
+        assert cache.stats()["entries"] == 1
+        hit, _result = cache.fetch(keys[2])
+        assert hit
+
+    def test_prune_keeps_young_entries(self, tmp_path):
+        cache, keys = self._populate(tmp_path, 2)
+        assert cache.prune(3600.0) == {"removed": 0, "removed_bytes": 0,
+                                       "kept": 2}
+        for key in keys:
+            assert cache.fetch(key)[0]
+
+    def test_fetch_counts_digest_verifies_and_bytes(self, tmp_path,
+                                                    monkeypatch):
+        import repro.obs as obs_mod
+
+        cache, keys = self._populate(tmp_path, 1)
+        observability = obs_mod.configure(metrics=True)
+        try:
+            assert cache.fetch(keys[0])[0]
+            metrics = observability.metrics
+            assert metrics.counter("cellcache.digest_verifies").value == 1
+            assert metrics.counter("cellcache.bytes_read").value > 0
+        finally:
+            obs_mod.reset()

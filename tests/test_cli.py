@@ -130,3 +130,37 @@ class TestValidateCommand:
         with pytest.raises(SystemExit):
             main(["validate", "--inject-bug", "no-such-bug"])
         assert "invalid choice" in capsys.readouterr().err
+
+
+class TestCacheVerbs:
+    def test_stats_and_prune_round_trip(self, tmp_path, capsys):
+        manifest_dir = str(tmp_path / "runs")
+        # Populate the cache with one cell, then inspect and evict it.
+        assert main(["--manifest-dir", manifest_dir, "resolution",
+                     "--preemptions", "30"]) == 0
+        capsys.readouterr()
+        assert main(["--manifest-dir", manifest_dir, "cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries  1" in out
+        assert main(["--manifest-dir", manifest_dir, "cache", "prune",
+                     "--older-than", "0"]) == 0
+        assert "pruned 1 entry" in capsys.readouterr().out
+        assert main(["--manifest-dir", manifest_dir, "cache", "stats"]) == 0
+        assert "entries  0" in capsys.readouterr().out
+
+    def test_missing_cache_dir_is_not_an_error(self, tmp_path, capsys):
+        manifest_dir = str(tmp_path / "empty")
+        assert main(["--manifest-dir", manifest_dir, "cache", "stats"]) == 0
+        assert main(["--manifest-dir", manifest_dir, "cache", "prune",
+                     "--older-than", "7d"]) == 0
+        capsys.readouterr()
+
+    def test_older_than_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--older-than", "soon"])
+        assert "duration" in capsys.readouterr().err
+
+    def test_cache_requires_subverb(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+        capsys.readouterr()

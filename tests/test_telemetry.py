@@ -1,0 +1,341 @@
+"""Run-health telemetry: per-cell scoping, deterministic aggregation,
+OpenMetrics export, fast-path counters, and the zero-allocation
+disabled mode."""
+
+import json
+import os
+import tracemalloc
+
+import pytest
+
+import repro.obs as obs_mod
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    aggregate_manifests,
+    cell_metrics_scope,
+    merge_histograms,
+    merge_scalars,
+    percentile_summary,
+    render_openmetrics,
+    render_report,
+    write_telemetry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs_mod.reset()
+    yield
+    obs_mod.reset()
+
+
+# ----------------------------------------------------------------------
+# Merging primitives
+# ----------------------------------------------------------------------
+class TestMerging:
+    def test_scalars_sum_keywise_and_ints_stay_ints(self):
+        merged = merge_scalars([{"a": 1, "b": 2.5}, {"a": 3, "c": True}])
+        assert merged == {"a": 4, "b": 2.5, "c": 1}
+        assert isinstance(merged["a"], int)
+
+    def test_histogram_dicts_excluded_from_scalars(self):
+        hist = {"count": 1, "sum": 2.0, "mean": 2.0, "min": 2.0,
+                "max": 2.0, "buckets": {"inf": 1}}
+        assert merge_scalars([{"h": hist, "a": 1}]) == {"a": 1}
+
+    def test_histograms_bucket_merge(self):
+        h1 = {"count": 2, "sum": 3.0, "mean": 1.5, "min": 1.0, "max": 2.0,
+              "buckets": {"le_10": 2, "inf": 0}}
+        h2 = {"count": 1, "sum": 50.0, "mean": 50.0, "min": 50.0,
+              "max": 50.0, "buckets": {"le_10": 0, "inf": 1}}
+        merged = merge_histograms([{"h": h1}, {"h": h2}])["h"]
+        assert merged["count"] == 3
+        assert merged["sum"] == 53.0
+        assert merged["min"] == 1.0 and merged["max"] == 50.0
+        assert merged["buckets"] == {"le_10": 2, "inf": 1}
+        assert merged["mean"] == pytest.approx(53.0 / 3)
+
+    def test_percentiles_nearest_rank(self):
+        summary = percentile_summary([3.0, 1.0, 2.0, 4.0])
+        assert summary["n"] == 4
+        assert summary["p0"] == 1.0 and summary["p100"] == 4.0
+        assert summary["total"] == 10.0
+        assert percentile_summary([]) == {"n": 0}
+
+
+# ----------------------------------------------------------------------
+# Per-cell scoping
+# ----------------------------------------------------------------------
+class TestCellScope:
+    def test_scope_isolates_and_folds_back(self):
+        obs = obs_mod.configure(metrics=True)
+        obs.metrics.counter("outer").inc(5)
+        with cell_metrics_scope() as scoped:
+            assert scoped is not obs_mod.get_obs().metrics or True
+            reg = obs_mod.get_obs().metrics
+            assert reg.get("outer") is None  # fresh registry
+            reg.counter("outer").inc(2)
+            reg.histogram("h", buckets=(10.0,)).observe(3.0)
+        # restored parent carries the folded numbers
+        parent = obs_mod.get_obs().metrics
+        assert parent.counter("outer").value == 7
+        assert parent.get("h").count == 1
+
+    def test_scope_noop_when_disabled(self):
+        obs = obs_mod.configure(metrics=False)
+        with cell_metrics_scope() as scoped:
+            assert scoped is None
+            assert obs_mod.get_obs().metrics is obs.metrics
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def _manifest(kind, experiment, metrics, wall=0.1):
+    return {"kind": kind, "experiment": experiment, "metrics": metrics,
+            "wall_time_s": wall, "version": "1.0"}
+
+
+class TestAggregation:
+    def test_cells_preferred_over_runs(self):
+        telemetry = aggregate_manifests([
+            _manifest("run", "sweep", {"a": 100}),
+            _manifest("cell", "res", {"a": 1}),
+            _manifest("cell", "res", {"a": 2}),
+        ])
+        assert telemetry["counter_source"] == "cells"
+        assert telemetry["exact"]["counters"] == {"a": 3}
+        assert telemetry["cells"] == 2 and telemetry["runs"] == 1
+        assert telemetry["experiments"] == {"res": 2, "sweep": 1}
+
+    def test_runs_used_when_no_cells(self):
+        telemetry = aggregate_manifests([_manifest("run", "sgx", {"a": 7})])
+        assert telemetry["counter_source"] == "runs"
+        assert telemetry["exact"]["counters"] == {"a": 7}
+
+    def test_wall_time_quarantined_outside_exact(self):
+        telemetry = aggregate_manifests([
+            _manifest("cell", "res", {"a": 1}, wall=0.25),
+            _manifest("cell", "res", {"a": 1}, wall=0.75),
+        ])
+        assert telemetry["timing"]["wall_time_s"]["n"] == 2
+        assert "wall" not in json.dumps(telemetry["exact"])
+
+
+# ----------------------------------------------------------------------
+# The acceptance criterion: telemetry.json exact section bit-identical
+# across --jobs {1, 2, 4}
+# ----------------------------------------------------------------------
+class TestJobsInvariance:
+    @pytest.mark.slow
+    def test_exact_section_bit_identical_jobs_1_2_4(self, tmp_path, capsys):
+        blobs = {}
+        for jobs in (1, 2, 4):
+            run_dir = tmp_path / f"jobs{jobs}"
+            # Cache off: a cache-served cell is not re-simulated and
+            # contributes no counters, which would make the comparison
+            # depend on execution history rather than --jobs.
+            assert main([
+                "--telemetry", "--no-cell-cache",
+                "--manifest-dir", str(run_dir), "--jobs", str(jobs),
+                "sweep", "--taus", "440,740,1040",
+                "--preemptions", "40",
+            ]) == 0
+            capsys.readouterr()
+            telemetry = json.loads((run_dir / "telemetry.json").read_text())
+            blobs[jobs] = json.dumps(telemetry["exact"], sort_keys=True)
+            assert telemetry["cells"] == 3
+            assert telemetry["counter_source"] == "cells"
+        assert blobs[1] == blobs[2] == blobs[4]
+
+    def test_exact_section_identical_serial_vs_pool(self, tmp_path, capsys):
+        """Tier-1 variant of the acceptance check: one small sweep,
+        jobs 1 vs 2, byte-compared exact sections."""
+        blobs = {}
+        for jobs in (1, 2):
+            run_dir = tmp_path / f"j{jobs}"
+            assert main([
+                "--telemetry", "--no-cell-cache",
+                "--manifest-dir", str(run_dir), "--jobs", str(jobs),
+                "sweep", "--taus", "440,740", "--preemptions", "15",
+            ]) == 0
+            capsys.readouterr()
+            blobs[jobs] = json.dumps(
+                json.loads((run_dir / "telemetry.json").read_text())["exact"],
+                sort_keys=True)
+        assert blobs[1] == blobs[2]
+
+
+# ----------------------------------------------------------------------
+# Fast-path counters actually fire
+# ----------------------------------------------------------------------
+class TestCounterWiring:
+    def test_telemetry_carries_ff_and_attack_counters(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main([
+            "--telemetry", "--no-cell-cache",
+            "--manifest-dir", str(run_dir), "--jobs", "1",
+            "sweep", "--taus", "740", "--preemptions", "40",
+        ]) == 0
+        capsys.readouterr()
+        telemetry = json.loads((run_dir / "telemetry.json").read_text())
+        counters = telemetry["exact"]["counters"]
+        assert counters["sim.events_fired"] > 0
+        assert counters["ff.insts_fast_forwarded"] > 0
+        assert counters["attack.samples"] == 40
+        hist = telemetry["exact"]["histograms"][
+            "attack.preemptions_per_window"]
+        assert hist["count"] == 1
+        assert hist["max"] == 40
+
+    def test_batch_accounting_counts_addresses(self):
+        from repro.uarch.cache import MemoryHierarchy
+
+        hierarchy = MemoryHierarchy(1)
+        hierarchy.access_many(0, [0x1000, 0x1040, 0x2000])
+        assert hierarchy.batch_calls == 1
+        assert hierarchy.batch_addrs == 3
+        toucher = hierarchy.make_line_toucher(0, (0x1000, 0x1040))
+        toucher()
+        assert hierarchy.batch_calls == 2
+        assert hierarchy.batch_addrs == 5
+
+    def test_engine_counts_compactions(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        handles = [sim.call_at(1e9 + i, lambda: None) for i in range(64)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.compactions >= 1
+
+
+# ----------------------------------------------------------------------
+# Export formats
+# ----------------------------------------------------------------------
+class TestOpenMetrics:
+    def test_counter_gauge_histogram_rendering(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("kernel.switches").inc(3)
+        registry.gauge("sim.now_ns").set(12.5)
+        hist = registry.histogram("lat", buckets=(10.0, 100.0))
+        hist.observe(5.0)
+        hist.observe(50.0)
+        text = render_openmetrics(registry)
+        assert "# TYPE repro_kernel_switches counter" in text
+        assert "repro_kernel_switches_total 3" in text
+        assert "repro_sim_now_ns 12.5" in text
+        assert 'repro_lat_bucket{le="10"} 1' in text
+        assert 'repro_lat_bucket{le="100"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_count 2" in text
+        assert text.endswith("# EOF\n")
+
+    def test_stats_verb_openmetrics_format(self, capsys):
+        assert main(["--no-manifest", "stats", "resolution",
+                     "--preemptions", "20", "--format", "openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# EOF" in out
+        assert "repro_attack_samples_total 20" in out
+
+
+class TestCounterTracks:
+    def test_publish_emits_counter_track_events(self, capsys):
+        import repro.obs as obs
+
+        observability = obs.configure(metrics=True, trace=True)
+        from repro.experiments.resolution import run_resolution
+
+        run_resolution(740.0, preemptions=20, seed=1)
+        observability.publish()
+        trace = observability.tracer.to_chrome()
+        counter_events = [e for e in trace["traceEvents"]
+                          if e["ph"] == "C"]
+        assert counter_events, "publish() should emit counter tracks"
+        names = {e["name"] for e in counter_events}
+        assert "sim.events_fired" in names
+        for event in counter_events:
+            assert "value" in event["args"]
+        from repro.obs import validate_chrome_trace
+
+        assert validate_chrome_trace(trace) == []
+
+
+# ----------------------------------------------------------------------
+# Report rendering
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_report_reads_run_dir(self, tmp_path, capsys):
+        run_dir = tmp_path / "runs"
+        assert main([
+            "--telemetry", "--no-cell-cache",
+            "--manifest-dir", str(run_dir), "--jobs", "1",
+            "sweep", "--taus", "740", "--preemptions", "30",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run health" in out
+        assert "fast-forward" in out
+        assert "coverage" in out
+
+    def test_report_missing_dir_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+
+    def test_render_report_without_metrics_hints(self, tmp_path):
+        report = render_report(str(tmp_path))
+        assert "no metrics recorded" in report
+
+    def test_write_telemetry_is_stable_bytes(self, tmp_path):
+        manifest = _manifest("cell", "res", {"a": 1})
+        path = tmp_path / "cell-res-s0-aaaa.json"
+        path.write_text(json.dumps(manifest))
+        first = write_telemetry(str(tmp_path), str(tmp_path / "t1.json"))
+        second = write_telemetry(str(tmp_path), str(tmp_path / "t2.json"))
+        assert (open(first).read().replace("t1", "")
+                == open(second).read().replace("t2", ""))
+
+
+# ----------------------------------------------------------------------
+# Disabled mode: zero allocations from the obs layer on the hot loop
+# ----------------------------------------------------------------------
+class TestDisabledOverhead:
+    def test_disabled_telemetry_allocates_nothing_in_obs(self):
+        """With observability off, running the engine hot loop must not
+        allocate a single object attributable to repro/obs/*.py — the
+        null-instrument design means disabled telemetry is free."""
+        from repro.sim.engine import Simulator
+
+        obs_mod.configure(metrics=False, trace=False)
+        obs_dir = os.path.dirname(obs_mod.__file__)
+
+        def hot_loop():
+            sim = Simulator()
+            fired = [0]
+
+            def tick():
+                fired[0] += 1
+                if fired[0] < 5000:
+                    sim.call_after(10.0, tick)
+
+            sim.call_at(0.0, tick)
+            sim.run_until(1e9)
+            return fired[0]
+
+        hot_loop()  # warm-up outside the snapshot window
+        tracemalloc.start(10)
+        try:
+            hot_loop()
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        obs_allocs = [
+            stat for stat in snapshot.statistics("filename")
+            if os.path.normpath(os.path.dirname(stat.traceback[0].filename))
+            == os.path.normpath(obs_dir)
+        ]
+        assert obs_allocs == [], (
+            f"disabled-mode obs allocations: {obs_allocs}"
+        )

@@ -121,7 +121,11 @@ def test_branchy_victim_windows_bit_exact():
     got, fast_stats = run(True)
     want, ref_stats = run(False)
     assert got == want
-    assert fast_stats == ref_stats
+    # Architectural counters must be bit-equal; the ff_* introspection
+    # fields record which path retired the stream, so they differ by
+    # construction between the fast and interpreted runs.
+    assert fast_stats.architectural() == ref_stats.architectural()
+    assert fast_stats.ff_periodic_windows > 0
 
 
 def test_warmup_twin_engages_and_preserves_results():
