@@ -14,6 +14,15 @@ without writing harness code:
     python -m repro trace resolution --out trace.json
     python -m repro stats resolution
     python -m repro replay runs/run-resolution-s0-xxxxxxxxxx.json
+    python -m repro serve --port 7341 &
+    python -m repro submit resolution --port 7341 \\
+        --grid tau=700,740,780 --param preemptions=200
+
+``repro serve`` turns the same experiment registry into an async
+service: batches of cells are deduped by their content-addressed
+manifest key against the cell cache *and* against work already in
+flight, so overlapping grids submitted by many clients simulate each
+unique cell once (docs/SERVICE.md).
 
 ``--jobs N`` fans independent trials out over a process pool; ``--jobs
 0`` means "all cores" (``os.cpu_count()``).  Results are bit-identical
@@ -405,6 +414,134 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+# ----------------------------------------------------------------------
+# Experiment service (``repro serve`` / ``repro submit``)
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async experiment service until SIGINT/SIGTERM (or a
+    client ``drain``), then finish in-flight cells and exit."""
+    import asyncio
+    import signal
+
+    from repro.parallel import resolve_jobs
+    from repro.service.server import ExperimentService, ServiceConfig
+
+    manifest_dir = None if args.no_manifest else args.manifest_dir
+    cache_dir = None if args.no_cell_cache else _cache_dir_for(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=resolve_jobs(args.jobs),
+        queue_limit=args.queue_limit,
+        cell_timeout_s=args.cell_timeout,
+        max_retries=args.cell_retries,
+        cache_dir=cache_dir,
+        manifest_dir=manifest_dir,
+    )
+    service = ExperimentService(config)
+
+    async def _main() -> None:
+        await service.start()
+        print(f"[serve] listening on {config.host}:{service.port} "
+              f"({config.workers} worker(s), queue limit "
+              f"{config.queue_limit}, cache "
+              f"{cache_dir or 'disabled'})", flush=True)
+        loop = asyncio.get_running_loop()
+
+        def _request_drain() -> None:
+            asyncio.ensure_future(service.drain())
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await service.serve_until_stopped()
+        print("[serve] drained, shutting down", file=sys.stderr)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _param_value(raw: str):
+    """A ``--param``/``--grid`` value: JSON when it parses, else the
+    raw string (so ``--param scheduler=cfs`` needs no quoting)."""
+    import json
+
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+def _kv_pair(raw: str, flag: str):
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(
+            f"{flag} expects name=value, got {raw!r}")
+    name, value = raw.split("=", 1)
+    return name.strip(), value
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.wire import cell_from_wire, grid_cells
+    from repro.service import client
+
+    if args.ping:
+        print(json.dumps(client.ping(args.host, args.port), sort_keys=True))
+        return 0
+    if args.drain_server:
+        print(json.dumps(client.drain(args.host, args.port), sort_keys=True))
+        return 0
+    if args.file:
+        with open(args.file) as fh:
+            data = json.load(fh)
+        raw_cells = data["cells"] if isinstance(data, dict) else data
+        cells = [cell_from_wire(obj) for obj in raw_cells]
+    elif args.experiment:
+        base = dict(_kv_pair(p, "--param") for p in args.param or [])
+        base = {k: _param_value(v) for k, v in base.items()}
+        sweep = {}
+        for raw in args.grid or []:
+            name, values = _kv_pair(raw, "--grid")
+            sweep[name] = [_param_value(v) for v in values.split(",")]
+        cells = (grid_cells(args.experiment, sweep, base) if sweep
+                 else [cell_from_wire({"experiment": args.experiment,
+                                       "params": base})])
+    else:
+        print("submit needs an EXPERIMENT (with --param/--grid) or "
+              "--file batch.json", file=sys.stderr)
+        return 2
+    cells = cells * max(1, args.repeat)
+    result = client.submit_batch(
+        args.host, args.port, cells,
+        max_attempts=args.send_retries + 1,
+    )
+    if args.json:
+        print(json.dumps({
+            "batch_id": result.batch_id,
+            "summary": result.summary,
+            "digests": result.digests,
+            "statuses": [c.status for c in result.cells],
+            "sources": [c.source for c in result.cells],
+        }, sort_keys=True))
+    else:
+        for cell in result.cells:
+            digest = (cell.digest or "")[:16]
+            note = cell.error or f"digest {digest}…"
+            print(f"  cell {cell.index:>4}  {cell.status:<8} "
+                  f"[{cell.source}]  {note}")
+        summary = ", ".join(f"{k}={v}"
+                            for k, v in sorted(result.summary.items()))
+        print(f"batch {result.batch_id}: {len(result.cells)} cell(s) — "
+              f"{summary}")
+    return 0 if result.ok else 1
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.obs.manifest import load_manifest, replay
 
@@ -622,6 +759,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_jobs_type, default=argparse.SUPPRESS,
                    metavar="N")
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async experiment service: batches of cells in, "
+             "manifest-keyed dedupe against the cell cache, worker-pool "
+             "execution (see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral; the chosen "
+                        "port is printed on stdout)")
+    p.add_argument("--queue-limit", type=int, default=256,
+                   help="max admitted-but-unfinished cells before "
+                        "submissions get backpressure (default: 256)")
+    p.add_argument("--cell-timeout", type=float, default=120.0,
+                   metavar="S",
+                   help="per-cell wall-clock timeout; a timed-out cell "
+                        "counts as a transport failure and is retried")
+    p.add_argument("--cell-retries", type=int, default=2, metavar="N",
+                   help="transport-failure retries per cell (the retried "
+                        "cell is identical — never re-seeded; default: 2)")
+    # Accept the global --jobs after the verb too.
+    p.add_argument("--jobs", type=_jobs_type, default=argparse.SUPPRESS,
+                   metavar="N")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit experiment cells to a running `repro serve` and "
+             "stream per-cell results",
+    )
+    p.add_argument("experiment", nargs="?", default=None,
+                   help="registry verb (e.g. resolution) or "
+                        "repro.module:function path")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=False, default=7341)
+    p.add_argument("--param", action="append", metavar="NAME=VALUE",
+                   help="fixed parameter (JSON value or bare string); "
+                        "repeatable")
+    p.add_argument("--grid", action="append", metavar="NAME=V1,V2,...",
+                   help="sweep axis; repeated axes form the cartesian "
+                        "product (the overlapping-grid shape the "
+                        "service dedupes)")
+    p.add_argument("--file", default=None, metavar="BATCH_JSON",
+                   help="JSON file with a list of cells (or "
+                        "{'cells': [...]}) instead of EXPERIMENT")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="submit the batch's cells N times over "
+                        "(duplicates exercise dedupe; default 1)")
+    p.add_argument("--send-retries", type=int, default=4, metavar="N",
+                   help="resubmissions to attempt when the server "
+                        "answers queue-full backpressure (default: 4)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary on stdout")
+    p.add_argument("--ping", action="store_true",
+                   help="just check liveness and print the pong")
+    p.add_argument("--drain-server", action="store_true",
+                   help="ask the server to finish queued work and shut "
+                        "down")
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser(
         "replay", help="re-execute a run manifest and verify bit-identity",

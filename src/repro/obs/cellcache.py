@@ -25,10 +25,21 @@ Safety properties:
 * every stored entry carries the :func:`repro.obs.manifest.
   result_digest` of its result, and :meth:`CellCache.fetch` re-digests
   the unpickled result on every hit — a corrupt or tampered entry is a
-  miss, never a wrong answer;
-* writes are atomic (temp file + ``os.replace``), so concurrent pool
-  workers racing on the same cell leave one valid entry, not an
-  interleaved one;
+  miss, never a wrong answer (:meth:`CellCache.fetch_outcome`
+  additionally distinguishes the two, so the experiment service can
+  count rejected entries);
+* writes are atomic (temp file + ``os.replace``) **and single-writer**:
+  a per-key lock file (``O_CREAT|O_EXCL``) elects one winner among
+  concurrent processes computing the same cell, so racing workers
+  neither interleave partial writes nor double-count ``bytes_written``
+  — the losers skip the store (counted as ``store_contended``) and a
+  stale lock (a crashed writer) expires after
+  :data:`CellCache.LOCK_STALE_S`;
+* ``prune`` retires an entry by **rename-then-unlink**: the entry
+  leaves the namespace atomically (a concurrent :meth:`fetch` either
+  read the complete old bytes or sees a clean miss and recomputes —
+  never a torn file), and entries whose writer currently holds the
+  lock are never pruned mid-write;
 * entries are pickles, so the cache directory is trusted input — it
   lives next to the run manifests the same trust already covers
   (``runs/cellcache/`` by default).  ``repro replay`` of any manifest
@@ -47,6 +58,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.manifest import _package_version, _sanitize, result_digest
@@ -88,9 +100,28 @@ def _has_unsanitizable(value: Any) -> bool:
 class CellCache:
     """Pickle store of cell results under one directory."""
 
+    #: A store lock older than this is considered abandoned (its writer
+    #: crashed between acquire and release) and is broken by the next
+    #: writer.  Class attribute so race tests can shrink it.
+    LOCK_STALE_S = 60.0
+
     def __init__(self, directory: str):
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        #: Test-only injection points: ``{point_name: callable}``,
+        #: invoked (when set) at the named interleaving points —
+        #: ``store.locked`` (lock held, before the write),
+        #: ``store.before_replace`` (temp written, before publish),
+        #: ``fetch.after_read`` (bytes read, before verify),
+        #: ``prune.before_unlink`` (entry renamed, before removal).
+        #: Race regression tests use these to force the exact
+        #: interleavings the locking must survive.
+        self._hooks: Dict[str, Any] = {}
+
+    def _hook(self, point: str) -> None:
+        fn = self._hooks.get(point)
+        if fn is not None:
+            fn()
 
     # ------------------------------------------------------------------
     # Keys
@@ -112,6 +143,59 @@ class CellCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"cell-{key}.pkl")
 
+    def _lock_path(self, key: str) -> str:
+        return os.path.join(self.directory, f".cell-{key}.lock")
+
+    # ------------------------------------------------------------------
+    # Store lock (single writer per key)
+    # ------------------------------------------------------------------
+    def _acquire_lock(self, key: str) -> bool:
+        """Try to become the single writer for ``key``.
+
+        ``O_CREAT|O_EXCL`` is atomic on every platform we care about;
+        a lock whose mtime is older than :data:`LOCK_STALE_S` belongs
+        to a crashed writer and is broken (once) before retrying.
+        """
+        lock = self._lock_path(key)
+        for _attempt in range(2):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(str(os.getpid()))
+                return True
+            except FileExistsError:
+                try:
+                    age = time.time() - os.stat(lock).st_mtime
+                except OSError:
+                    continue  # holder released between EXCL and stat
+                if age <= self.LOCK_STALE_S:
+                    return False
+                try:  # abandoned lock: break it and retry the acquire
+                    os.unlink(lock)
+                except OSError:
+                    pass
+            except OSError:
+                return False
+        return False
+
+    def _release_lock(self, key: str) -> None:
+        try:
+            os.unlink(self._lock_path(key))
+        except OSError:
+            pass
+
+    def _lock_is_live(self, path: str) -> bool:
+        """True when ``path``'s entry has a fresh writer lock."""
+        name = os.path.basename(path)
+        if not (name.startswith("cell-") and name.endswith(".pkl")):
+            return False
+        lock = os.path.join(
+            self.directory, "." + name[: -len(".pkl")] + ".lock")
+        try:
+            return time.time() - os.stat(lock).st_mtime <= self.LOCK_STALE_S
+        except OSError:
+            return False
+
     # ------------------------------------------------------------------
     # Fetch / store
     # ------------------------------------------------------------------
@@ -122,40 +206,79 @@ class CellCache:
         digest; anything else (missing file, unpickle failure, digest
         mismatch) is a miss and the cell recomputes.
         """
+        status, result = self.fetch_outcome(key)
+        return (status == "hit"), result
+
+    def fetch_outcome(self, key: str) -> Tuple[str, Any]:
+        """``(status, result_or_None)`` with status ``hit`` / ``miss``
+        / ``corrupt``.
+
+        ``corrupt`` means an entry *exists* but failed digest
+        verification (or did not unpickle) — the experiment service
+        counts those as ``service.cache_rejects`` and recomputes, while
+        a plain ``miss`` is just cold cache.  Both recompute; neither
+        can ever return a wrong answer.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as fh:
+            with open(path, "rb") as fh:
                 data = fh.read()
+        except OSError:
+            self._count("misses")
+            return "miss", None
+        self._hook("fetch.after_read")
+        try:
             entry = pickle.loads(data)
             result = entry["result"]
             self._count("digest_verifies")
             if result_digest(result) != entry["digest"]:
-                self._count("corrupt")
-                return False, None
-        except (OSError, pickle.UnpicklingError, KeyError, EOFError,
-                AttributeError, ImportError, IndexError):
-            self._count("misses")
-            return False, None
+                raise ValueError("digest mismatch")
+        except ValueError:
+            self._count("corrupt")
+            return "corrupt", None
+        except (pickle.UnpicklingError, KeyError, EOFError, AttributeError,
+                ImportError, IndexError, TypeError):
+            self._count("corrupt")
+            return "corrupt", None
         self._count("hits")
         self._count("bytes_read", len(data))
-        return True, result
+        return "hit", result
 
     def store(self, key: str, experiment: str, result: Any) -> Optional[str]:
-        """Atomically persist one cell result; returns the path (None
-        when the result cannot be pickled — nothing is written)."""
+        """Atomically persist one cell result; returns the path.
+
+        Returns None when nothing was written: the result cannot be
+        pickled, the directory is read-only, or another process holds
+        the write lock for this key (it is computing the *same pure
+        cell*, so its entry is as good as ours — skipping keeps
+        ``bytes_written`` equal to the bytes actually on disk instead
+        of double-counting racing writers).
+        """
         entry = {
             "schema": CACHE_SCHEMA,
             "experiment": experiment,
             "digest": result_digest(result),
             "result": result,
         }
+        try:
+            data = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Unpicklable results simply do not cache; the computed
+            # result is still returned upstream.
+            return None
+        if not self._acquire_lock(key):
+            self._count("store_contended")
+            return None
         path = self._path(key)
         try:
+            self._hook("store.locked")
             fd, tmp = tempfile.mkstemp(
                 dir=self.directory, prefix=".cell-", suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(data)
+                self._hook("store.before_replace")
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -163,15 +286,15 @@ class CellCache:
                 except OSError:
                     pass
                 raise
-        except (OSError, pickle.PicklingError, TypeError):
-            # Unpicklable results (or a read-only cache dir) simply do
-            # not cache; the computed result is still returned upstream.
-            return None
-        self._count("stores")
-        try:
-            self._count("bytes_written", os.path.getsize(path))
         except OSError:
-            pass
+            return None
+        finally:
+            self._release_lock(key)
+        self._count("stores")
+        # Count the bytes we serialized, not a post-replace stat: the
+        # stat could race a concurrent prune, and under contention it
+        # would bill every writer for the one file that survived.
+        self._count("bytes_written", len(data))
         return path
 
     def digest_of(self, key: str) -> Optional[str]:
@@ -231,27 +354,48 @@ class CellCache:
     def prune(self, older_than_s: float, *,
               now: Optional[float] = None) -> Dict[str, int]:
         """Remove entries whose mtime is more than ``older_than_s``
-        seconds old.  Removal is a single ``unlink`` per entry (atomic
-        on POSIX); entries already gone count as removed, not errors."""
-        import time
+        seconds old.
 
+        Removal is **rename-then-unlink**: the entry is first renamed
+        to a hidden ``.cell-*.doomed`` name (atomic — it leaves the
+        key's namespace in one step, so a concurrent :meth:`fetch`
+        either already read the complete old bytes or sees a clean
+        miss), then the doomed file is unlinked.  Entries whose writer
+        currently holds the store lock are skipped — a cell being
+        (re)written is by definition not stale.  Entries already gone
+        count as removed, not errors.
+        """
         cutoff = (time.time() if now is None else now) - older_than_s
         removed = 0
         removed_bytes = 0
         kept = 0
         for path, st in self._entries():
-            if st.st_mtime < cutoff:
-                try:
-                    os.unlink(path)
-                except FileNotFoundError:
-                    pass
-                except OSError:
-                    kept += 1
-                    continue
-                removed += 1
-                removed_bytes += st.st_size
-            else:
+            if st.st_mtime >= cutoff:
                 kept += 1
+                continue
+            if self._lock_is_live(path):
+                kept += 1
+                continue
+            doomed = os.path.join(
+                self.directory,
+                "." + os.path.basename(path)[: -len(".pkl")] + ".doomed",
+            )
+            try:
+                os.rename(path, doomed)
+            except FileNotFoundError:
+                removed += 1  # a concurrent prune beat us to it
+                removed_bytes += st.st_size
+                continue
+            except OSError:
+                kept += 1
+                continue
+            self._hook("prune.before_unlink")
+            try:
+                os.unlink(doomed)
+            except OSError:
+                pass
+            removed += 1
+            removed_bytes += st.st_size
         return {"removed": removed, "removed_bytes": removed_bytes,
                 "kept": kept}
 

@@ -1,0 +1,26 @@
+"""``repro.service`` — the async experiment service.
+
+Turns the CLI's one-shot experiment runner into something that can
+absorb heavy overlapping traffic: an asyncio front-end (``repro
+serve``) keyed on the manifest layer's content-addressed cell digests,
+deduping submitted cells against both the persistent cell cache and
+work already in flight, with a process worker pool as the execution
+backend.  See docs/SERVICE.md for the wire format and the
+dedupe/backpressure/retry/determinism contracts, and
+``tests/service_harness.py`` for the in-process test harness.
+"""
+
+from repro.service.protocol import BatchResult, CellResult
+from repro.service.server import (
+    ExperimentService,
+    InjectedTransportFailure,
+    ServiceConfig,
+)
+
+__all__ = [
+    "BatchResult",
+    "CellResult",
+    "ExperimentService",
+    "InjectedTransportFailure",
+    "ServiceConfig",
+]

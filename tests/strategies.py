@@ -57,3 +57,42 @@ FEATURE_VARIANT_NAMES = [
     "no-place-lag",
 ]
 feature_variant_names = st.sampled_from(FEATURE_VARIANT_NAMES)
+
+# ----------------------------------------------------------------------
+# Cell-parameter strategies for the dedupe layer's digest properties
+# (tests/test_digest_properties.py): the service keys cells by the
+# sha256 of their sanitized params, so "same cell" spellings — any dict
+# key order, equivalent float spellings, defaulted vs explicit — must
+# collide and different values must not.
+# ----------------------------------------------------------------------
+
+#: Finite floats whose repr round-trips exactly (all of them, in
+#: Python 3 — that exactness is what the digest layer leans on).
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+#: Scalar parameter values a wire cell can carry.
+param_scalars = st.one_of(
+    st.integers(min_value=-(2**53), max_value=2**53),
+    finite_floats,
+    st.booleans(),
+    st.text(max_size=20),
+    st.none(),
+    st.binary(max_size=16),
+)
+
+#: Parameter names: short identifier-ish strings.
+param_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12)
+
+#: Possibly-nested parameter values (lists and dicts of scalars).
+param_values = st.recursive(
+    param_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(param_names, children, max_size=4),
+    ),
+    max_leaves=8,
+)
+
+#: One cell's parameter dict.
+param_dicts = st.dictionaries(param_names, param_values, max_size=6)

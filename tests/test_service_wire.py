@@ -1,0 +1,165 @@
+"""Unit tests for the service's wire layer and NDJSON protocol.
+
+These are the deterministic, no-server-needed contracts: experiment
+canonicalization, parameter normalization (the dedupe identity),
+grid expansion order, frame encode/decode, and the client-side result
+shapes.  The live-server behavior is in test_service_determinism.py
+and test_service_faults.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.resolution import WakeupMethod
+from repro.experiments.wire import (
+    WireCell,
+    WireError,
+    canonical_experiment,
+    cell_from_wire,
+    cell_to_wire,
+    grid_cells,
+    normalize_params,
+)
+from repro.service import protocol
+from repro.service.protocol import BatchResult, CellResult
+
+CANONICAL = "repro.experiments.resolution:run_resolution"
+
+
+# ----------------------------------------------------------------------
+# Experiment canonicalization
+# ----------------------------------------------------------------------
+class TestCanonicalExperiment:
+    def test_verb_resolves_to_module_qualname(self):
+        name, fn = canonical_experiment("resolution")
+        assert name == CANONICAL
+        assert callable(fn)
+
+    def test_canonical_path_is_idempotent(self):
+        assert canonical_experiment(CANONICAL)[0] == CANONICAL
+
+    def test_unknown_experiment_is_wire_error(self):
+        with pytest.raises(WireError):
+            canonical_experiment("no-such-experiment")
+
+
+# ----------------------------------------------------------------------
+# Normalization edge cases (properties are in test_digest_properties)
+# ----------------------------------------------------------------------
+class TestNormalization:
+    def test_defaults_are_filled_in(self):
+        cell = cell_from_wire({"experiment": "resolution",
+                               "params": {"tau": 740.0}})
+        assert cell.params["preemptions"] == 1000
+        assert cell.params["scheduler"] == "cfs"
+        assert cell.params["seed"] == 0
+        assert cell.params["method"] is WakeupMethod.NANOSLEEP
+
+    def test_unknown_param_is_rejected(self):
+        with pytest.raises(WireError, match="unknown parameter"):
+            cell_from_wire({"experiment": "resolution",
+                            "params": {"tau": 740.0, "taus": 1}})
+
+    def test_missing_required_param_is_rejected(self):
+        with pytest.raises(WireError, match="missing required"):
+            cell_from_wire({"experiment": "resolution", "params": {}})
+
+    def test_bool_is_never_coerced_to_float(self):
+        def fake(x: float = 1.0):
+            return x
+
+        assert normalize_params(fake, {"x": True})["x"] is True
+
+    def test_malformed_cell_shapes_are_rejected(self):
+        with pytest.raises(WireError):
+            cell_from_wire({"params": {"tau": 740.0}})  # no experiment
+        with pytest.raises(WireError):
+            cell_from_wire({"experiment": "resolution", "params": [1]})
+        with pytest.raises(WireError):
+            cell_from_wire(["resolution"])
+
+    def test_enum_params_survive_the_wire(self):
+        cell = cell_from_wire({"experiment": "resolution",
+                               "params": {"tau": 740.0}})
+        wire = cell_to_wire(cell)
+        assert wire["params"]["method"] == {
+            "__enum__": "repro.core.wakeup:WakeupMethod",
+            "value": "nanosleep"}
+        assert cell_from_wire(wire) == cell
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+# ----------------------------------------------------------------------
+class TestGridCells:
+    def test_product_in_sorted_axis_order(self):
+        cells = grid_cells("resolution",
+                           {"tau": [700.0, 705.0], "seed": [1, 2]})
+        assert len(cells) == 4
+        # Axes expand sorted by name: 'seed' is the outer loop.
+        assert [(c.params["seed"], c.params["tau"]) for c in cells] == [
+            (1, 700.0), (1, 705.0), (2, 700.0), (2, 705.0)]
+
+    def test_same_spec_same_cells(self):
+        spec = {"tau": [700.0, 705.0, 710.0], "seed": [1, 2]}
+        assert (grid_cells("resolution", spec)
+                == grid_cells("resolution", spec))
+
+    def test_base_params_apply_to_every_cell(self):
+        cells = grid_cells("resolution", {"tau": [700.0, 705.0]},
+                           base={"preemptions": 7})
+        assert all(c.params["preemptions"] == 7 for c in cells)
+
+
+# ----------------------------------------------------------------------
+# Protocol framing
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"op": "submit", "batch": [{"experiment": "resolution"}]}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_encode_is_canonical_one_line(self):
+        data = protocol.encode({"b": 1, "a": 2})
+        assert data == b'{"a":2,"b":1}\n'
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"[1,2,3]\n")
+
+
+# ----------------------------------------------------------------------
+# Client-side result shapes
+# ----------------------------------------------------------------------
+class TestResultShapes:
+    def test_cell_result_from_wire(self):
+        cell = CellResult.from_wire({
+            "type": "cell", "index": 3, "status": "cached",
+            "source": "cache", "key": "k", "digest": "d", "attempts": 0})
+        assert (cell.index, cell.status, cell.source) == (3, "cached",
+                                                          "cache")
+        assert cell.attempts == 0 and cell.error is None
+
+    def test_batch_ok_requires_cells_and_no_failures(self):
+        empty = BatchResult(batch_id="b1")
+        assert not empty.ok
+        good = BatchResult(batch_id="b2", cells=[
+            CellResult(index=0, status="computed", digest="x"),
+            CellResult(index=1, status="cached", digest="y")])
+        assert good.ok
+        assert good.digests == ["x", "y"]
+        assert good.count("cached") == 1
+        bad = BatchResult(batch_id="b3", cells=[
+            CellResult(index=0, status="failed", error="boom")])
+        assert not bad.ok
+
+    def test_wirecell_is_hashable_identity(self):
+        # frozen dataclass: equal cells are interchangeable dict keys
+        a = WireCell(CANONICAL, {"tau": 740.0})
+        b = WireCell(CANONICAL, {"tau": 740.0})
+        assert a == b
