@@ -271,7 +271,7 @@ def _cmd_stats(args: argparse.Namespace) -> None:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs.telemetry import render_report, write_telemetry
+    from repro.obs.telemetry import report_health, write_telemetry
 
     if not os.path.isdir(args.run_dir):
         print(f"no such run directory: {args.run_dir}", file=sys.stderr)
@@ -279,7 +279,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.write:
         path = write_telemetry(args.run_dir)
         print(f"[telemetry] {path}", file=sys.stderr)
-    print(render_report(args.run_dir))
+    # A crashed sweep leaves truncated telemetry/manifests behind; the
+    # report degrades to whatever partial picture the run dir supports
+    # and only --strict turns the degradation into a failing exit code.
+    text, warnings = report_health(args.run_dir)
+    for warning in warnings:
+        print(f"[report] warning: {warning}", file=sys.stderr)
+    print(text)
+    if warnings and args.strict:
+        return 1
     return 0
 
 
@@ -437,6 +445,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.cell_retries,
         cache_dir=cache_dir,
         manifest_dir=manifest_dir,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window_s=args.breaker_window,
+        breaker_reset_s=args.breaker_reset,
+        degraded_max_inline=args.degraded_max_inline,
+        journal_dir=args.journal_dir,
     )
     service = ExperimentService(config)
 
@@ -485,24 +498,21 @@ def _kv_pair(raw: str, flag: str):
     return name.strip(), value
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
+def _build_cells(args: argparse.Namespace):
+    """The sweep-shaped cell list shared by ``submit`` and ``run``:
+    ``--file batch.json``, or EXPERIMENT with ``--param``/``--grid``
+    (cartesian product), times ``--repeat``.  None when neither form
+    was given (the resume path reloads cells from ``sweep.json``)."""
     import json
 
     from repro.experiments.wire import cell_from_wire, grid_cells
-    from repro.service import client
 
-    if args.ping:
-        print(json.dumps(client.ping(args.host, args.port), sort_keys=True))
-        return 0
-    if args.drain_server:
-        print(json.dumps(client.drain(args.host, args.port), sort_keys=True))
-        return 0
-    if args.file:
+    if getattr(args, "file", None):
         with open(args.file) as fh:
             data = json.load(fh)
         raw_cells = data["cells"] if isinstance(data, dict) else data
         cells = [cell_from_wire(obj) for obj in raw_cells]
-    elif args.experiment:
+    elif getattr(args, "experiment", None):
         base = dict(_kv_pair(p, "--param") for p in args.param or [])
         base = {k: _param_value(v) for k, v in base.items()}
         sweep = {}
@@ -513,13 +523,135 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                  else [cell_from_wire({"experiment": args.experiment,
                                        "params": base})])
     else:
+        return None
+    return cells * max(1, getattr(args, "repeat", 1))
+
+
+def _submit_journaled(args: argparse.Namespace, cells) -> int:
+    """``repro submit --run-dir``: a crash-safe service-backed sweep.
+
+    The run dir is bound to the batch with ``sweep.json``; every result
+    frame is journaled *as it streams in*, so killing the client
+    mid-batch loses only undelivered cells.  ``--resume`` replays the
+    journal, resubmits only unjournaled cells, and never recomputes —
+    the final digest list is byte-identical to an uninterrupted submit.
+    """
+    import json
+
+    from repro.obs.cellcache import cell_key
+    from repro.obs.journal import SweepJournal
+    from repro.service import client
+    from repro.sweeps import (
+        CellOutcome, combined_digest, prepare_run_dir,
+    )
+
+    try:
+        spec, jreplay = prepare_run_dir(args.run_dir, cells, args.resume)
+    except ValueError as exc:
+        print(f"[submit] {exc}", file=sys.stderr)
+        return 2
+    sweep_cells = spec.cells
+    keys = [cell_key(c.experiment, c.params) for c in sweep_cells]
+
+    outcomes = [None] * len(sweep_cells)
+    pending: List[int] = []
+    for index, (cell, key) in enumerate(zip(sweep_cells, keys)):
+        digest = jreplay.digest_for(key) if key is not None else None
+        if digest is not None:
+            outcomes[index] = CellOutcome(
+                index=index, experiment=cell.experiment, key=key,
+                digest=digest, source="journal")
+        else:
+            pending.append(index)
+
+    if pending:
+        journal = SweepJournal(args.run_dir, spec_digest=spec.digest())
+
+        def on_cell(cell_result) -> None:
+            # cell_result.index is the index within the *submitted*
+            # (pending-only) batch; map back to the sweep position.
+            index = pending[cell_result.index]
+            if cell_result.status == "failed" or not cell_result.digest:
+                return
+            outcomes[index] = CellOutcome(
+                index=index, experiment=sweep_cells[index].experiment,
+                key=keys[index], digest=cell_result.digest, source="ran")
+            if keys[index] is not None:
+                journal.record(keys[index], cell_result.digest,
+                               index=index,
+                               experiment=sweep_cells[index].experiment)
+
+        try:
+            client.submit_batch(
+                args.host, args.port,
+                [sweep_cells[index] for index in pending],
+                max_attempts=args.send_retries + 1,
+                deadline_s=args.deadline,
+                on_cell=on_cell,
+            )
+        finally:
+            # Killed mid-stream included: everything received so far is
+            # durably journaled, so the run dir stays resumable.
+            journal.close()
+
+    done = [o for o in outcomes if o is not None]
+    errors = sum(1 for o in outcomes if o is None)
+    served = sum(1 for o in done if o.source == "journal")
+    ran = sum(1 for o in done if o.source == "ran")
+    if args.json:
+        print(json.dumps({
+            "run_dir": args.run_dir,
+            "spec_digest": spec.digest(),
+            "digests": [o.digest for o in done],
+            "sweep_digest": combined_digest([o.digest for o in done]),
+            "journal_served": served,
+            "ran": ran,
+            "errors": errors,
+            "cells": len(sweep_cells),
+        }, sort_keys=True))
+    else:
+        for outcome in done:
+            print(f"  cell {outcome.index:>4}  [{outcome.source:<7}]  "
+                  f"digest {outcome.digest[:16]}…")
+        print(f"sweep {args.run_dir}: {len(done)}/{len(sweep_cells)} "
+              f"cell(s) — {served} from journal, {ran} computed"
+              + (f", {errors} error(s)" if errors else ""))
+        print(f"sweep digest: "
+              f"{combined_digest([o.digest for o in done])[:16]}…")
+    return 0 if not errors and len(done) == len(sweep_cells) else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import client
+
+    if args.ping:
+        print(json.dumps(client.ping(args.host, args.port), sort_keys=True))
+        return 0
+    if args.drain_server:
+        print(json.dumps(client.drain(args.host, args.port), sort_keys=True))
+        return 0
+    cells = _build_cells(args)
+    if args.run_dir:
+        if cells is None and not args.resume:
+            print("submit --run-dir needs an EXPERIMENT/--file, or "
+                  "--resume to continue the recorded sweep",
+                  file=sys.stderr)
+            return 2
+        return _submit_journaled(args, cells)
+    if args.resume:
+        print("--resume needs --run-dir (the journal lives in the run "
+              "directory)", file=sys.stderr)
+        return 2
+    if cells is None:
         print("submit needs an EXPERIMENT (with --param/--grid) or "
               "--file batch.json", file=sys.stderr)
         return 2
-    cells = cells * max(1, args.repeat)
     result = client.submit_batch(
         args.host, args.port, cells,
         max_attempts=args.send_retries + 1,
+        deadline_s=args.deadline,
     )
     if args.json:
         print(json.dumps({
@@ -540,6 +672,141 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"batch {result.batch_id}: {len(result.cells)} cell(s) — "
               f"{summary}")
     return 0 if result.ok else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: a crash-safe local sweep inside a run directory.
+
+    SIGINT/SIGTERM set an abort flag the completion-order runner polls;
+    the journal is flushed before exit (code 130), and ``--resume``
+    continues with zero recomputation of journaled cells.
+    """
+    import json
+    import signal
+
+    from repro.chaos import ChaosAbort
+    from repro.parallel import SweepInterrupted
+    from repro.sweeps import run_sweep
+
+    cells = _build_cells(args)
+    if cells is None and not args.resume:
+        print("run needs an EXPERIMENT (with --param/--grid) or "
+              "--file batch.json, or --resume on an existing run dir",
+              file=sys.stderr)
+        return 2
+
+    flag = {"abort": False}
+
+    def _request_abort(signum, frame) -> None:
+        flag["abort"] = True
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _request_abort)
+        except (ValueError, OSError):
+            pass
+    try:
+        result = run_sweep(
+            args.run_dir, cells, jobs=args.jobs, resume=args.resume,
+            should_abort=lambda: flag["abort"])
+    except SweepInterrupted as exc:
+        print(f"[run] interrupted after {exc.completed} completed "
+              f"cell(s); journal flushed — continue with --resume",
+              file=sys.stderr)
+        return 130
+    except ChaosAbort as exc:
+        print(f"[run] {exc}; journal flushed — continue with --resume",
+              file=sys.stderr)
+        return 130
+    except ValueError as exc:
+        print(f"[run] {exc}", file=sys.stderr)
+        return 2
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+
+    if args.json:
+        print(json.dumps({
+            "run_dir": args.run_dir,
+            "spec_digest": result.spec_digest,
+            "digests": [o.digest for o in result.outcomes],
+            "sweep_digest": result.digest,
+            "journal_served": result.journal_served,
+            "ran": result.ran,
+            "torn": result.torn,
+            "cells": len(result.outcomes),
+        }, sort_keys=True))
+    else:
+        for outcome in result.outcomes:
+            print(f"  cell {outcome.index:>4}  [{outcome.source:<7}]  "
+                  f"digest {outcome.digest[:16]}…")
+        note = " (journal had a torn final line)" if result.torn else ""
+        print(f"sweep {args.run_dir}: {len(result.outcomes)} cell(s) — "
+              f"{result.journal_served} from journal, "
+              f"{result.ran} computed{note}")
+        print(f"sweep digest: {result.digest[:16]}…")
+    return 0
+
+
+def _cmd_chaos_plan(args: argparse.Namespace) -> int:
+    """``repro chaos plan``: author a replayable fault schedule."""
+    import json
+
+    from repro.chaos import INJECTION_POINTS, ChaosSpec, FaultEvent
+
+    rates: dict = {}
+    for raw in args.rate or []:
+        name, value = _kv_pair(raw, "--rate")
+        if ":" not in name:
+            print(f"--rate expects POINT:KIND=P, got {raw!r} "
+                  f"(points: {sorted(INJECTION_POINTS)})", file=sys.stderr)
+            return 2
+        point, kind = name.split(":", 1)
+        try:
+            rates.setdefault(point.strip(), {})[kind.strip()] = float(value)
+        except ValueError:
+            print(f"--rate probability must be a number, got {value!r}",
+                  file=sys.stderr)
+            return 2
+    events = []
+    for raw in args.event or []:
+        try:
+            events.append(FaultEvent.from_dict(json.loads(raw)))
+        except ValueError as exc:
+            print(f"bad --event {raw!r}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        spec = ChaosSpec(seed=args.chaos_seed, rates=rates, events=events,
+                         max_faults=args.max_faults)
+    except ValueError as exc:
+        print(f"[chaos] {exc}", file=sys.stderr)
+        return 2
+    path = spec.save(args.out)
+    print(f"[chaos] wrote fault schedule to {path} "
+          f"(activate with REPRO_CHAOS={path} or --chaos {path})",
+          file=sys.stderr)
+    print(path)
+    return 0
+
+
+def _cmd_chaos_show(args: argparse.Namespace) -> int:
+    """``repro chaos show``: validate + pretty-print a schedule."""
+    import json
+
+    from repro.chaos import load_spec
+
+    try:
+        spec = load_spec(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"[chaos] unreadable schedule {args.manifest!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -592,6 +859,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cell-cache", action="store_true",
                         help="always recompute cells, never serve them "
                              "from the cache")
+    parser.add_argument("--chaos", default=None, metavar="FILE",
+                        help="activate a chaos fault schedule (JSON from "
+                             "`repro chaos plan`; exported as REPRO_CHAOS "
+                             "so pool workers inherit it — docs/CHAOS.md)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("resolution", help="Fig 4.3/4.7 histogram cell")
@@ -677,6 +948,11 @@ def build_parser() -> argparse.ArgumentParser:
                                    "manifests (e.g. runs/)")
     p.add_argument("--write", action="store_true",
                    help="also write/update telemetry.json in the run dir")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 when the report had to degrade (missing/"
+                        "truncated telemetry.json or unreadable "
+                        "manifests); default is a partial report + "
+                        "warnings on stderr")
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
@@ -780,6 +1056,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cell-retries", type=int, default=2, metavar="N",
                    help="transport-failure retries per cell (the retried "
                         "cell is identical — never re-seeded; default: 2)")
+    p.add_argument("--breaker-threshold", type=int, default=3, metavar="N",
+                   help="pool replacements inside --breaker-window that "
+                        "trip the circuit breaker into degraded inline "
+                        "execution (default: 3)")
+    p.add_argument("--breaker-window", type=float, default=30.0,
+                   metavar="S",
+                   help="sliding window for counting pool replacements "
+                        "(default: 30s)")
+    p.add_argument("--breaker-reset", type=float, default=60.0,
+                   metavar="S",
+                   help="how long degraded mode lasts before the breaker "
+                        "half-opens and tries a fresh pool (default: 60s)")
+    p.add_argument("--degraded-max-inline", type=int, default=2,
+                   metavar="N",
+                   help="concurrent inline cells while degraded "
+                        "(default: 2)")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="append each completed cell's key+digest to a sweep "
+                        "journal in DIR (survives crashes; clients can "
+                        "also journal on their side with submit "
+                        "--run-dir)")
     # Accept the global --jobs after the verb too.
     p.add_argument("--jobs", type=_jobs_type, default=argparse.SUPPRESS,
                    metavar="N")
@@ -811,6 +1108,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--send-retries", type=int, default=4, metavar="N",
                    help="resubmissions to attempt when the server "
                         "answers queue-full backpressure (default: 4)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="total wall-clock budget for the backpressure "
+                        "resubmit loop (default: unbounded)")
+    p.add_argument("--run-dir", default=None, metavar="DIR",
+                   help="make the submit crash-safe: bind the batch to "
+                        "DIR/sweep.json and journal each result frame "
+                        "as it streams in (resume with --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="with --run-dir: replay the journal and resubmit "
+                        "only unjournaled cells (zero recomputation)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary on stdout")
     p.add_argument("--ping", action="store_true",
@@ -819,6 +1126,69 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ask the server to finish queued work and shut "
                         "down")
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "run",
+        help="crash-safe local sweep: execute a cell grid inside a run "
+             "directory with a write-ahead journal; --resume continues "
+             "an interrupted sweep with zero recomputation",
+    )
+    p.add_argument("experiment", nargs="?", default=None,
+                   help="registry verb (e.g. resolution) or "
+                        "repro.module:function path")
+    p.add_argument("--run-dir", required=True, metavar="DIR",
+                   help="durable sweep directory (sweep.json + "
+                        "journal.ndjson live here)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue the sweep recorded in --run-dir "
+                        "(journaled cells are served, never recomputed)")
+    p.add_argument("--param", action="append", metavar="NAME=VALUE",
+                   help="fixed parameter (JSON value or bare string); "
+                        "repeatable")
+    p.add_argument("--grid", action="append", metavar="NAME=V1,V2,...",
+                   help="sweep axis; repeated axes form the cartesian "
+                        "product")
+    p.add_argument("--file", default=None, metavar="BATCH_JSON",
+                   help="JSON file with a list of cells (or "
+                        "{'cells': [...]}) instead of EXPERIMENT")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="run the grid's cells N times over (default 1)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary on stdout")
+    # Accept the global --jobs/--seed after the verb too.
+    p.add_argument("--jobs", type=_jobs_type, default=argparse.SUPPRESS,
+                   metavar="N")
+    p.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "chaos",
+        help="author and inspect deterministic fault schedules "
+             "(docs/CHAOS.md)",
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+    c = chaos_sub.add_parser(
+        "plan", help="write a chaos manifest from --rate/--event flags")
+    c.add_argument("--chaos-seed", type=int, default=0,
+                   help="root seed for the schedule's rate draws "
+                        "(default: 0)")
+    c.add_argument("--rate", action="append", metavar="POINT:KIND=P",
+                   help="probabilistic fault, e.g. "
+                        "cellcache.fetch:corrupt=0.05; repeatable")
+    c.add_argument("--event", action="append", metavar="JSON",
+                   help="scripted fault, e.g. '{\"point\":\"service.cell\","
+                        "\"kind\":\"worker_kill\",\"match\":{\"seed\":123,"
+                        "\"attempt\":0}}'; repeatable")
+    c.add_argument("--max-faults", type=int, default=None, metavar="N",
+                   help="per-process cap on executed faults "
+                        "(default: unlimited)")
+    c.add_argument("--out", default="chaos.json", metavar="FILE",
+                   help="where to write the schedule (default: chaos.json)")
+    c.set_defaults(func=_cmd_chaos_plan)
+    c = chaos_sub.add_parser(
+        "show", help="validate and pretty-print a chaos manifest")
+    c.add_argument("manifest", help="path to a chaos schedule JSON")
+    c.set_defaults(func=_cmd_chaos_show)
 
     p = sub.add_parser(
         "replay", help="re-execute a run manifest and verify bit-identity",
@@ -859,6 +1229,16 @@ def _configure_obs(args: argparse.Namespace) -> None:
     if getattr(args, "no_cell_cache", False):
         cache_dir = None
     _set("REPRO_CELL_CACHE_DIR", cache_dir is not None, cache_dir or "")
+    # Chaos rides the same env-var channel so pool workers (fork or
+    # spawn) replay the exact same fault schedule as the parent.  An
+    # externally exported REPRO_CHAOS is left alone when --chaos is not
+    # given (the CI smoke sets it around the whole serve/submit pair).
+    chaos = getattr(args, "chaos", None)
+    if chaos is not None:
+        os.environ["REPRO_CHAOS"] = chaos
+        from repro.chaos import reset_active
+
+        reset_active()
     obs_mod.reset()
 
 

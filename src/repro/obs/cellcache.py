@@ -63,10 +63,12 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.manifest import _package_version, _sanitize, result_digest
 
-__all__ = ["CellCache", "cell_cache", "CACHE_ENV", "CACHE_SCHEMA"]
+__all__ = ["CellCache", "cell_cache", "cell_key", "CACHE_ENV",
+           "CACHE_SCHEMA", "LOCK_STALE_ENV"]
 
 CACHE_ENV = "REPRO_CELL_CACHE_DIR"
 CACHE_SCHEMA = 1
+LOCK_STALE_ENV = "REPRO_CELLCACHE_LOCK_STALE_S"
 
 #: Memoized caches keyed by directory, so repeated cells in one process
 #: share one instance (and one ``makedirs`` check).
@@ -83,6 +85,26 @@ def cell_cache() -> Optional["CellCache"]:
     if cache is None:
         cache = _instances[path] = CellCache(path)
     return cache
+
+
+def cell_key(experiment: str, params: Dict[str, Any]) -> Optional[str]:
+    """Content key for one cell, independent of any cache instance.
+
+    This is the identity shared by the cell cache, the service dedupe
+    map, and the sweep journal: SHA-256 over ``(schema, package
+    version, experiment id, sanitized params)``.  Returns None when
+    the params contain a value that does not survive manifest
+    sanitization — such a cell is not replayable, so nothing may key
+    on it.
+    """
+    sanitized = {k: _sanitize(v) for k, v in params.items()}
+    if _has_unsanitizable(sanitized):
+        return None
+    material = json.dumps(
+        [CACHE_SCHEMA, _package_version(), experiment, sanitized],
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
 
 
 def _has_unsanitizable(value: Any) -> bool:
@@ -102,12 +124,29 @@ class CellCache:
 
     #: A store lock older than this is considered abandoned (its writer
     #: crashed between acquire and release) and is broken by the next
-    #: writer.  Class attribute so race tests can shrink it.
+    #: writer.  Class attribute is the default; per-instance override
+    #: via the ``lock_stale_s`` constructor arg or the
+    #: ``REPRO_CELLCACHE_LOCK_STALE_S`` environment variable (for
+    #: sweeps whose individual cells legitimately run longer than a
+    #: minute — a live slow writer must never have its lock broken).
     LOCK_STALE_S = 60.0
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str,
+                 lock_stale_s: Optional[float] = None):
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        if lock_stale_s is None:
+            env = os.environ.get(LOCK_STALE_ENV, "").strip()
+            if env:
+                try:
+                    lock_stale_s = float(env)
+                except ValueError:
+                    lock_stale_s = None
+        if lock_stale_s is not None and lock_stale_s > 0:
+            # Shadow the class attribute so every internal use — and
+            # every external reader of ``cache.LOCK_STALE_S`` — sees
+            # the configured value.
+            self.LOCK_STALE_S = float(lock_stale_s)
         #: Test-only injection points: ``{point_name: callable}``,
         #: invoked (when set) at the named interleaving points —
         #: ``store.locked`` (lock held, before the write),
@@ -130,15 +169,10 @@ class CellCache:
         """Content key for one cell, or None when ``params`` contain a
         value that does not survive manifest sanitization (those cells
         are not replayable, so they must not be cache-served)."""
-        sanitized = {k: _sanitize(v) for k, v in params.items()}
-        if _has_unsanitizable(sanitized):
+        key = cell_key(experiment, params)
+        if key is None:
             self._count("skipped")
-            return None
-        material = json.dumps(
-            [CACHE_SCHEMA, _package_version(), experiment, sanitized],
-            sort_keys=True,
-        )
-        return hashlib.sha256(material.encode()).hexdigest()
+        return key
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"cell-{key}.pkl")
@@ -227,6 +261,7 @@ class CellCache:
             self._count("misses")
             return "miss", None
         self._hook("fetch.after_read")
+        data = self._chaos_fetch(key, data)
         try:
             entry = pickle.loads(data)
             result = entry["result"]
@@ -272,6 +307,7 @@ class CellCache:
         path = self._path(key)
         try:
             self._hook("store.locked")
+            self._chaos_store(key)
             fd, tmp = tempfile.mkstemp(
                 dir=self.directory, prefix=".cell-", suffix=".tmp"
             )
@@ -398,6 +434,39 @@ class CellCache:
             removed_bytes += st.st_size
         return {"removed": removed, "removed_bytes": removed_bytes,
                 "kept": kept}
+
+    # ------------------------------------------------------------------
+    # Chaos injection (repro.chaos; no-ops unless REPRO_CHAOS is set)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _chaos_fetch(key: str, data: bytes) -> bytes:
+        """``cellcache.fetch``/``corrupt``: flip a byte in the entry
+        *after* the read, so the digest-verification path (which
+        classifies the entry ``corrupt`` and recomputes) is what the
+        fault exercises — exactly the on-disk bit-rot it defends
+        against."""
+        if not os.environ.get("REPRO_CHAOS", "").strip():
+            return data
+        from repro.chaos import chaos_point
+
+        fault = chaos_point("cellcache.fetch", key=key)
+        if fault is not None and fault["kind"] == "corrupt" and data:
+            mid = len(data) // 2
+            data = data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1:]
+        return data
+
+    @staticmethod
+    def _chaos_store(key: str) -> None:
+        """``cellcache.store``/``stall``: sleep while holding the store
+        lock, simulating a slow or wedged writer so lock-contention and
+        stale-expiry behaviour can be exercised under schedule."""
+        if not os.environ.get("REPRO_CHAOS", "").strip():
+            return
+        from repro.chaos import chaos_point
+
+        fault = chaos_point("cellcache.store", key=key)
+        if fault is not None and fault["kind"] == "stall":
+            time.sleep(float(fault.get("sleep_s", 0.0)))
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -64,6 +64,7 @@ __all__ = [
     "write_telemetry",
     "render_openmetrics",
     "render_report",
+    "report_health",
 ]
 
 TELEMETRY_ENV = "REPRO_TELEMETRY"
@@ -210,22 +211,33 @@ def percentile_summary(values: Sequence[float]) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Run-directory aggregation
 # ----------------------------------------------------------------------
-def _load_manifest_dicts(run_dir: str) -> List[Tuple[str, dict]]:
+def _load_manifest_dicts(run_dir: str,
+                         skipped: Optional[List[str]] = None
+                         ) -> List[Tuple[str, dict]]:
     """``(basename, manifest_dict)`` pairs, sorted by basename.
 
     Manifest names are deterministic functions of the cell identity
     (experiment, params, seed), so this order is independent of pool
-    scheduling and wall time."""
+    scheduling and wall time.  Unreadable or truncated manifests are
+    skipped — a partial run dir (crashed sweep, torn write) still
+    aggregates — and, when ``skipped`` is given, reported into it."""
     pairs: List[Tuple[str, dict]] = []
     for kind in ("run", "cell"):
         for path in glob.glob(os.path.join(run_dir, f"{kind}-*.json")):
             try:
                 with open(path) as fh:
                     data = json.load(fh)
-            except (OSError, ValueError):
+            except (OSError, ValueError) as exc:
+                if skipped is not None:
+                    skipped.append(
+                        f"skipped manifest {os.path.basename(path)}: {exc}")
                 continue
             if isinstance(data, dict) and "experiment" in data:
                 pairs.append((os.path.basename(path), data))
+            elif skipped is not None:
+                skipped.append(
+                    f"skipped manifest {os.path.basename(path)}: "
+                    "not a manifest object")
     pairs.sort(key=lambda pair: pair[0])
     return pairs
 
@@ -267,9 +279,10 @@ def aggregate_manifests(manifests: Sequence[dict]) -> dict:
     }
 
 
-def aggregate_run_dir(run_dir: str) -> dict:
+def aggregate_run_dir(run_dir: str,
+                      skipped: Optional[List[str]] = None) -> dict:
     """Aggregate every manifest under ``run_dir`` (non-recursive)."""
-    pairs = _load_manifest_dicts(run_dir)
+    pairs = _load_manifest_dicts(run_dir, skipped)
     telemetry = aggregate_manifests([data for _, data in pairs])
     telemetry["run_dir"] = os.path.basename(os.path.abspath(run_dir))
     return telemetry
@@ -355,6 +368,48 @@ def _hit_rate(counters: Dict[str, Any], prefix: str) -> Optional[float]:
     return _ratio(hits, hits + misses)
 
 
+def _shape_ok(telemetry: Any) -> bool:
+    """Whether a loaded telemetry dict has the aggregate shape the
+    report reads (truncated/corrupt files routinely do not)."""
+    if not isinstance(telemetry, dict):
+        return False
+    exact = telemetry.get("exact", {})
+    timing = telemetry.get("timing", {})
+    return (isinstance(exact, dict)
+            and isinstance(exact.get("counters", {}), dict)
+            and isinstance(exact.get("histograms", {}), dict)
+            and isinstance(timing, dict)
+            and isinstance(timing.get("wall_time_s", {}), dict))
+
+
+def report_health(run_dir: str) -> Tuple[str, List[str]]:
+    """``(report_text, warnings)`` for ``repro report <run-dir>``.
+
+    Degrades instead of tracebacking: a missing, truncated, or
+    wrong-shaped ``telemetry.json`` falls back to aggregating the
+    manifests on the fly, unreadable manifests are skipped, and every
+    degradation is reported as a warning — a crashed sweep's run dir
+    still yields the partial picture it can support.
+    """
+    warnings: List[str] = []
+    telemetry: Optional[dict] = None
+    path = os.path.join(run_dir, TELEMETRY_FILENAME)
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                loaded = json.load(fh)
+            if not _shape_ok(loaded):
+                raise ValueError("not a telemetry aggregate")
+            telemetry = loaded
+        except (OSError, ValueError) as exc:
+            warnings.append(
+                f"{TELEMETRY_FILENAME} unreadable ({exc}); "
+                "re-aggregating from manifests")
+    if telemetry is None:
+        telemetry = aggregate_run_dir(run_dir, skipped=warnings)
+    return render_report(run_dir, telemetry), warnings
+
+
 def render_report(run_dir: str,
                   telemetry: Optional[dict] = None) -> str:
     """Human-readable run-health report for ``repro report <run-dir>``.
@@ -364,12 +419,8 @@ def render_report(run_dir: str,
     per-phase timing and the per-experiment manifest record.
     """
     if telemetry is None:
-        path = os.path.join(run_dir, TELEMETRY_FILENAME)
-        if os.path.exists(path):
-            with open(path) as fh:
-                telemetry = json.load(fh)
-        else:
-            telemetry = aggregate_run_dir(run_dir)
+        text, _warnings = report_health(run_dir)
+        return text
     counters = telemetry.get("exact", {}).get("counters", {})
     histograms = telemetry.get("exact", {}).get("histograms", {})
     wall = telemetry.get("timing", {}).get("wall_time_s", {})

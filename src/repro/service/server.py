@@ -96,6 +96,21 @@ class ServiceConfig:
     return_reprs: bool = False          # default wire "return" mode
     fault_plan: Optional[FaultPlan] = None  # test-only fault injection
     retry_backoff_s: float = 0.05
+    # Circuit breaker: after ``breaker_threshold`` pool replacements
+    # inside ``breaker_window_s``, stop flapping (pool rebuilds are the
+    # expensive part of a crash-looping environment) and shed to
+    # *bounded inline* execution — at most ``degraded_max_inline``
+    # cells computing in-process at once — for ``breaker_reset_s``,
+    # after which the next cell half-opens a fresh pool.
+    breaker_threshold: int = 3
+    breaker_window_s: float = 30.0
+    breaker_reset_s: float = 60.0
+    degraded_max_inline: int = 2
+    # When set, completed cells are journaled (key + digest) to this
+    # run directory's ``journal.ndjson`` — the server-side half of the
+    # crash-safe sweep story (clients journal too; the server journal
+    # additionally survives clients that vanish mid-batch).
+    journal_dir: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +204,15 @@ class ExperimentService:
         self._stopped: Optional[asyncio.Event] = None
         self._batch_counter = 0
         self._tally = _Tally()
+        self._pool_breaks: List[float] = []   # replacement timestamps (window)
+        self._pool_replacements = 0           # lifetime total
+        self._degraded_until = 0.0            # monotonic; 0 → not degraded
+        self._degraded_sem: Optional[asyncio.Semaphore] = None
+        self._journal = None
+        if self.config.journal_dir:
+            from repro.obs.journal import SweepJournal
+
+            self._journal = SweepJournal(self.config.journal_dir)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -202,6 +226,8 @@ class ExperimentService:
         self._idle = asyncio.Event()
         self._idle.set()
         self._stopped = asyncio.Event()
+        self._degraded_sem = asyncio.Semaphore(
+            max(1, self.config.degraded_max_inline))
         if not self.inline:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.config.workers)
@@ -216,10 +242,18 @@ class ExperimentService:
         await self._stopped.wait()
 
     async def drain(self) -> None:
-        """Stop admission, finish in-flight work, shut everything down."""
+        """Stop admission, finish in-flight work, shut everything down.
+
+        Every in-flight cell is journaled as it completes (the normal
+        path), so by the time the idle event fires the journal holds
+        everything that finished; flushing it *before* the listener
+        closes is what makes a SIGTERM'd server resumable.
+        """
         self._draining = True
         assert self._idle is not None and self._stopped is not None
         await self._idle.wait()
+        if self._journal is not None:
+            self._journal.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -314,6 +348,8 @@ class ExperimentService:
             "failed": tally.failed,
             "dedupe_hits": tally.dedupe_hits,
             "hit_rate": round(tally.hit_rate, 6),
+            "degraded": self._degraded(),
+            "pool_replacements": self._pool_replacements,
         }
 
     # ------------------------------------------------------------------
@@ -414,6 +450,7 @@ class ExperimentService:
                                digest=result_digest(result), attempts=0)
                 if want_repr:
                     message["result_repr"] = repr(result)
+                self._journal_cell(key, message["digest"], cell.experiment)
                 return message
             if status == "corrupt":
                 self._count("cache_rejects")
@@ -466,7 +503,19 @@ class ExperimentService:
             message["status"] = "failed"
         else:
             message["status"] = "retried" if attempts > 1 else "computed"
+            self._journal_cell(key, message.get("digest"), cell.experiment)
         return message
+
+    def _journal_cell(self, key: Optional[str], digest: Optional[str],
+                      experiment: str) -> None:
+        """Journal one successfully computed cell (no-op when the
+        server has no journal, or the cell has no content key)."""
+        if self._journal is None or key is None or digest is None:
+            return
+        try:
+            self._journal.record(key, digest, experiment=experiment)
+        except OSError:
+            pass  # durability must never fail the serving path
 
     @staticmethod
     def _outcome_fields(outcome: Dict[str, Any],
@@ -497,24 +546,42 @@ class ExperimentService:
             if attempt:
                 self._count("retries")
                 await asyncio.sleep(self.config.retry_backoff_s * attempt)
-            fault = None
-            if self.config.fault_plan is not None:
-                fault = self.config.fault_plan(
-                    cell.experiment, cell.params, attempt)
+            fault = self._cell_fault(cell, attempt)
+            degraded = not self.inline and self._degraded()
+            if not degraded and self._pool is None and not self.inline:
+                # Breaker cool-down elapsed: half-open a fresh pool.
+                await self._ensure_pool()
+                degraded = self._degraded()  # lost the race → stay shed
             generation = self._pool_generation
             loop = asyncio.get_running_loop()
-            exec_future = loop.run_in_executor(
-                self._pool, execute_cell, wire_dict,
-                self.config.cache_dir, self.config.manifest_dir,
-                fault, self.inline)
-            # Not wait_for(): an executor call cannot be cancelled once
-            # running, and wait_for would block on the cancellation
-            # until the slow worker finished — the opposite of a
-            # timeout.  wait() lets us abandon the stuck future (its
-            # eventual result/exception is consumed silently) and move
-            # straight to the retry.
-            done, _ = await asyncio.wait(
-                {exec_future}, timeout=self.config.cell_timeout_s)
+            if degraded:
+                # Shed mode: compute in-process (thread executor,
+                # inline fault semantics so an injected death raises
+                # instead of killing the server), bounded by the
+                # degraded semaphore so a burst cannot fork-bomb the
+                # event-loop host.
+                self._count("degraded_cells")
+                assert self._degraded_sem is not None
+                async with self._degraded_sem:
+                    exec_future = loop.run_in_executor(
+                        None, execute_cell, wire_dict,
+                        self.config.cache_dir, self.config.manifest_dir,
+                        fault, True)
+                    done, _ = await asyncio.wait(
+                        {exec_future}, timeout=self.config.cell_timeout_s)
+            else:
+                exec_future = loop.run_in_executor(
+                    self._pool, execute_cell, wire_dict,
+                    self.config.cache_dir, self.config.manifest_dir,
+                    fault, self.inline)
+                # Not wait_for(): an executor call cannot be cancelled
+                # once running, and wait_for would block on the
+                # cancellation until the slow worker finished — the
+                # opposite of a timeout.  wait() lets us abandon the
+                # stuck future (its eventual result/exception is
+                # consumed silently) and move straight to the retry.
+                done, _ = await asyncio.wait(
+                    {exec_future}, timeout=self.config.cell_timeout_s)
             if not done:
                 exec_future.add_done_callback(
                     lambda f: f.cancelled() or f.exception())
@@ -532,9 +599,42 @@ class ExperimentService:
                 "error": f"transport retries exhausted: {last_error}"}, \
             self.config.max_retries + 1
 
+    def _cell_fault(self, cell: WireCell,
+                    attempt: int) -> Optional[Dict[str, Any]]:
+        """The fault (if any) scheduled for this execution attempt —
+        from the test-only ``fault_plan`` hook, or from an active
+        ``repro.chaos`` schedule (``service.cell`` injection point)."""
+        if self.config.fault_plan is not None:
+            return self.config.fault_plan(
+                cell.experiment, cell.params, attempt)
+        if os.environ.get("REPRO_CHAOS", "").strip():
+            from repro.chaos import service_fault
+
+            return service_fault(cell.experiment, cell.params, attempt)
+        return None
+
+    # ------------------------------------------------------------------
+    # Circuit breaker (pool replacement → bounded inline degradation)
+    # ------------------------------------------------------------------
+    def _degraded(self) -> bool:
+        return time.monotonic() < self._degraded_until
+
+    def _publish_degraded(self) -> None:
+        from repro.obs import get_obs
+
+        metrics = get_obs().metrics
+        if metrics.enabled:
+            metrics.gauge("service.degraded").set(
+                1 if self._degraded() else 0)
+
     async def _replace_pool(self, seen_generation: int) -> None:
         """Swap a broken pool for a fresh one (once per breakage, even
-        when many cells observe the same corpse concurrently)."""
+        when many cells observe the same corpse concurrently) — unless
+        the breaker trips: ``breaker_threshold`` replacements inside
+        ``breaker_window_s`` means the environment is crash-looping,
+        and rebuilding pools just burns the host.  Then the pool stays
+        down and cells shed to bounded inline execution until
+        ``breaker_reset_s`` has passed."""
         if self.inline:
             return
         assert self._pool_lock is not None
@@ -544,9 +644,34 @@ class ExperimentService:
             old, self._pool = self._pool, None
             if old is not None:
                 old.shutdown(wait=False)
+            self._pool_generation += 1
+            now = time.monotonic()
+            self._pool_replacements += 1
+            self._count("pool_replacements")
+            self._pool_breaks.append(now)
+            cutoff = now - self.config.breaker_window_s
+            self._pool_breaks = [t for t in self._pool_breaks if t >= cutoff]
+            if len(self._pool_breaks) >= self.config.breaker_threshold:
+                self._degraded_until = now + self.config.breaker_reset_s
+                self._pool_breaks.clear()
+                self._count("degraded_entries")
+                self._publish_degraded()
+                return  # pool stays down; cells shed inline
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.workers)
+
+    async def _ensure_pool(self) -> None:
+        """Half-open transition: the breaker's cool-down has elapsed
+        and a cell needs a pool again."""
+        assert self._pool_lock is not None
+        async with self._pool_lock:
+            if self._pool is not None or self._degraded():
+                return
             self._pool = ProcessPoolExecutor(
                 max_workers=self.config.workers)
             self._pool_generation += 1
+            self._degraded_until = 0.0
+            self._publish_degraded()
 
 
 async def run_service(config: ServiceConfig,

@@ -39,6 +39,9 @@ def _repro_env_hygiene():
     import repro.obs as obs_mod
 
     obs_mod.reset()
+    from repro.chaos import reset_active
+
+    reset_active()
 
 if settings is not None:
     settings.register_profile(

@@ -1,0 +1,102 @@
+"""Configurable store-lock staleness (``CellCache.LOCK_STALE_S``).
+
+A sweep whose individual cells legitimately run longer than the
+default stale window must be able to raise it — constructor argument
+or ``REPRO_CELLCACHE_LOCK_STALE_S`` — and a *live* slow writer's lock
+must never be broken out from under it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.obs.cellcache import LOCK_STALE_ENV, CellCache
+
+
+class TestConfiguration:
+    def test_constructor_overrides_the_class_default(self, tmp_path):
+        cache = CellCache(str(tmp_path), lock_stale_s=7.5)
+        assert cache.LOCK_STALE_S == 7.5
+        # The class default (and other instances) are untouched.
+        assert CellCache.LOCK_STALE_S == 60.0
+        other = CellCache(str(tmp_path / "other"))
+        assert other.LOCK_STALE_S == 60.0
+
+    def test_env_var_overrides_when_ctor_does_not(self, tmp_path):
+        os.environ[LOCK_STALE_ENV] = "123.5"
+        try:
+            cache = CellCache(str(tmp_path))
+            assert cache.LOCK_STALE_S == 123.5
+            # Explicit ctor arg wins over the environment.
+            cache = CellCache(str(tmp_path / "b"), lock_stale_s=9.0)
+            assert cache.LOCK_STALE_S == 9.0
+        finally:
+            del os.environ[LOCK_STALE_ENV]
+
+    def test_invalid_env_values_fall_back_to_default(self, tmp_path):
+        for bad in ("not-a-number", "-5", "0"):
+            os.environ[LOCK_STALE_ENV] = bad
+            try:
+                assert CellCache(
+                    str(tmp_path / bad)).LOCK_STALE_S == 60.0
+            finally:
+                del os.environ[LOCK_STALE_ENV]
+
+
+class TestSlowWriterProtection:
+    def test_live_slow_writer_keeps_its_lock(self, tmp_path):
+        """A long-running store's lock is aged past the *default*
+        staleness but within the configured one: a second writer must
+        back off (store_contended), not break the lock."""
+        cache = CellCache(str(tmp_path), lock_stale_s=3600.0)
+        key = cache.key_for("demo", {"seed": 1})
+
+        # Simulate the slow writer: lock held, aged 120 s — stale by
+        # the 60 s default, fresh under the configured hour.
+        assert cache._acquire_lock(key)
+        lock = cache._lock_path(key)
+        old = time.time() - 120.0
+        os.utime(lock, (old, old))
+
+        contender = CellCache(str(tmp_path), lock_stale_s=3600.0)
+        assert contender.store(key, "demo", {"value": 1}) is None
+        # The holder's lock file is still there, untouched.
+        assert os.path.exists(lock)
+        assert abs(os.stat(lock).st_mtime - old) < 1.0
+
+        # The holder finishes its own store normally... release first
+        # (store acquires the lock itself).
+        cache._release_lock(key)
+        assert cache.store(key, "demo", {"value": 1}) is not None
+        assert cache.fetch(key) == (True, {"value": 1})
+
+    def test_default_staleness_still_breaks_abandoned_locks(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        key = cache.key_for("demo", {"seed": 2})
+        assert cache._acquire_lock(key)
+        lock = cache._lock_path(key)
+        old = time.time() - 120.0  # well past the 60 s default
+        os.utime(lock, (old, old))
+        # A crashed writer's lock must not wedge the key forever.
+        assert cache.store(key, "demo", {"value": 2}) is not None
+        assert cache.fetch(key) == (True, {"value": 2})
+
+    def test_prune_respects_configured_staleness(self, tmp_path):
+        cache = CellCache(str(tmp_path), lock_stale_s=3600.0)
+        key = cache.key_for("demo", {"seed": 3})
+        cache.store(key, "demo", {"value": 3})
+        # Entry is old; its writer lock is 120 s old — live under the
+        # configured staleness, so prune must skip it.
+        path = cache._path(key)
+        ancient = time.time() - 10_000.0
+        os.utime(path, (ancient, ancient))
+        assert cache._acquire_lock(key)
+        lock = cache._lock_path(key)
+        old = time.time() - 120.0
+        os.utime(lock, (old, old))
+        outcome = cache.prune(older_than_s=1.0)
+        assert outcome["removed"] == 0 and outcome["kept"] == 1
+        cache._release_lock(key)
+        outcome = cache.prune(older_than_s=1.0)
+        assert outcome["removed"] == 1

@@ -1,0 +1,121 @@
+"""Circuit breaker: a crash-looping pool sheds to bounded inline mode.
+
+The graceful-degradation contract: after ``breaker_threshold`` pool
+replacements inside ``breaker_window_s`` the service stops rebuilding
+pools (the expensive part of a crash loop), computes cells inline —
+bounded by ``degraded_max_inline`` — until ``breaker_reset_s`` passes,
+then half-opens a fresh pool.  Degradation is visible in
+``service.*`` telemetry, and the server-side sweep journal survives a
+drain with everything that completed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.journal import journal_path, replay
+from tests.service_harness import ServiceHarness, resolution_cells
+from tests.test_service_determinism import serial_digests
+
+pytestmark = pytest.mark.service
+
+
+def _die_first(n):
+    """A fault plan that kills the worker for the first ``n`` attempts
+    of every cell — enough consecutive BrokenProcessPools to trip the
+    breaker — then lets execution through."""
+
+    def plan(_experiment, _params, attempt):
+        return {"die": True} if attempt < n else None
+
+    return plan
+
+
+class TestBreakerTrip:
+    def test_repeated_pool_deaths_shed_to_inline_with_correct_digests(
+            self, tmp_path):
+        cells = resolution_cells(2, seed=31)
+        expected = serial_digests(cells)
+        with ServiceHarness(cache_dir=str(tmp_path / "cc"), workers=1,
+                            max_retries=3, retry_backoff_s=0.01,
+                            breaker_threshold=2, breaker_window_s=60.0,
+                            breaker_reset_s=60.0,
+                            fault_plan=_die_first(2)) as harness:
+            batch = harness.submit(cells)
+            assert batch.ok
+            assert batch.digests == expected
+
+            stats = harness.stats()
+            assert stats["degraded"] is True
+            assert stats["pool_replacements"] >= 2
+            # Telemetry: entries counted, inline cells counted, gauge up.
+            assert harness.metric("service.degraded_entries") >= 1
+            assert harness.metric("service.degraded_cells") >= 1
+            assert harness.metric("service.degraded") == 1
+            assert harness.metric("service.pool_replacements") >= 2
+
+            # While degraded, fresh work still completes (inline).
+            more = resolution_cells(2, seed=32)
+            batch2 = harness.submit(more)
+            assert batch2.ok
+            assert batch2.digests == serial_digests(more)
+
+    def test_breaker_half_opens_after_reset(self, tmp_path):
+        faults = {"remaining": 2}
+
+        def plan(_experiment, _params, _attempt):
+            if faults["remaining"] > 0:
+                faults["remaining"] -= 1
+                return {"die": True}
+            return None
+
+        with ServiceHarness(cache_dir=str(tmp_path / "cc"), workers=1,
+                            max_retries=3, retry_backoff_s=0.01,
+                            breaker_threshold=2, breaker_window_s=60.0,
+                            breaker_reset_s=0.3,
+                            fault_plan=plan) as harness:
+            cells = resolution_cells(1, seed=33)
+            batch = harness.submit(cells)
+            assert batch.ok
+            assert harness.stats()["degraded"] is True
+
+            time.sleep(0.5)  # past breaker_reset_s: cool-down elapsed
+            fresh = resolution_cells(1, seed=34)
+            batch2 = harness.submit(fresh)
+            assert batch2.ok
+            assert batch2.digests == serial_digests(fresh)
+            stats = harness.stats()
+            assert stats["degraded"] is False
+            # The half-open pool computed it — no new replacements.
+            assert stats["pool_replacements"] == 2
+
+
+class TestServerJournal:
+    def test_drain_flushes_completed_cells_to_the_journal(self, tmp_path):
+        journal_dir = str(tmp_path / "server-run")
+        cells = resolution_cells(3, seed=35)
+        with ServiceHarness(cache_dir=str(tmp_path / "cc"), workers=1,
+                            journal_dir=journal_dir) as harness:
+            batch = harness.submit(cells)
+            assert batch.ok
+            keys = [harness.key_for(cell) for cell in cells]
+        # Harness exit drains the service; drain closes (flushes) the
+        # journal before the listener goes away.
+        recovered = replay(journal_path(journal_dir))
+        assert not recovered.torn
+        for key, digest in zip(keys, batch.digests):
+            assert recovered.digest_for(key) == digest
+
+    def test_cache_hits_are_journaled_too(self, tmp_path):
+        journal_dir = str(tmp_path / "server-run")
+        cells = resolution_cells(1, seed=36)
+        with ServiceHarness(cache_dir=str(tmp_path / "cc"), workers=1,
+                            journal_dir=journal_dir) as harness:
+            first = harness.submit(cells)
+            second = harness.submit(cells)  # served from cache
+            assert second.cells[0].status == "cached"
+            key = harness.key_for(cells[0])
+        recovered = replay(journal_path(journal_dir))
+        assert recovered.digest_for(key) == first.digests[0]
