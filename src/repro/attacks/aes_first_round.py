@@ -99,6 +99,7 @@ def run_aes_trace(
     tau: float = AES_TAU_NS,
     rounds: int = AES_ROUNDS,
     env=None,
+    mitigations=None,
 ) -> AesTrace:
     """One victim invocation under attack → one Flush+Reload trace."""
     lines = [a for t in range(4) for a in ttable_line_addrs(t)]
@@ -115,7 +116,8 @@ def run_aes_trace(
     )
     payload = build_aes_program(aes, plaintext)
     run = launch_synchronized_attack(
-        attacker, payload, scheduler=scheduler, seed=seed, env=env
+        attacker, payload, scheduler=scheduler, seed=seed, env=env,
+        mitigations=mitigations,
     )
     # Seek landmark: the code line the victim fetches on its way into
     # the AES routine (shared library text, Flush+Reload-able).
@@ -133,9 +135,11 @@ def run_aes_attack(
     n_traces: int = 5,
     scheduler: str = "cfs",
     seed: int = 0,
+    mitigations=None,
 ) -> AesAttackResult:
     """Full §5.1 attack on one key: 5 runs, randomized plaintexts,
-    majority vote."""
+    majority vote.  ``mitigations`` installs a defense stack in every
+    victim run's environment (see :mod:`repro.mitigations`)."""
     aes = TTableAes(key)
     rng = RngStreams(seed=seed)
     traces: List[AesTrace] = []
@@ -147,6 +151,7 @@ def run_aes_attack(
                 plaintext,
                 scheduler=scheduler,
                 seed=seed * 1000 + run_index,
+                mitigations=mitigations,
             )
         )
     recovered = recover_key_upper_nibbles(

@@ -69,17 +69,21 @@ def run_btb_gcd_attack(
     scheduler: str = "cfs",
     rounds: int = 400,
     polluter: bool = False,
+    mitigations=None,
 ) -> BtbAttackResult:
     """Recover all branch directions of one GCD run (single victim run).
 
     ``polluter`` adds a cross-core cache-noise thread (§4.3): the BTB is
-    core-private, so the attack's accuracy must not be affected."""
+    core-private, so the attack's accuracy must not be affected.
+    ``mitigations`` installs a defense stack (see
+    :mod:`repro.mitigations`) in the environment the attack runs in."""
     env = None
     if polluter:
         from repro.experiments.channel_noise import spawn_polluter
         from repro.experiments.setup import build_env
 
-        env = build_env(scheduler, n_cores=2, seed=seed)
+        env = build_env(scheduler, n_cores=2, seed=seed,
+                        mitigations=mitigations)
         spawn_polluter(env.kernel, cpu=1, rng=env.rng)
     info = build_gcd_program(a, b)
     probe = DualBtbProbe(info.if_probe_pc, info.else_probe_pc)
@@ -108,6 +112,7 @@ def run_btb_gcd_attack(
         seed=seed,
         victim_task=victim,
         env=env,
+        mitigations=mitigations,
     )
     # §5.2-style stalling, applied to the whole loop body: evicting the
     # head, branch and both block lines makes every iteration pay

@@ -153,6 +153,7 @@ def launch_synchronized_attack(
     align_margin_ns: float = 2_000.0,
     env: Optional[ExperimentEnv] = None,
     cpu: int = 0,
+    mitigations=None,
 ) -> AttackRun:
     """Start attacker + victim with calibrated payload alignment.
 
@@ -163,7 +164,8 @@ def launch_synchronized_attack(
     sensitive payload executes entirely under fine-grained stepping.
     """
     if env is None:
-        env = build_env(scheduler, n_cores=1, seed=seed)
+        env = build_env(scheduler, n_cores=1, seed=seed,
+                        mitigations=mitigations)
     kernel = env.kernel
     attacker.launch(kernel, cpu)
     # Let the attacker run its prologue and arm the hibernation timer.

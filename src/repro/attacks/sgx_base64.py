@@ -150,6 +150,7 @@ def run_sgx_trace(
     rounds: int = 2000,
     tau: float = SGX_TAU_NS,
     scheduler: str = "cfs",
+    mitigations=None,
 ) -> Tuple[SgxRunTrace, DecodeProgramInfo]:
     """One victim run under Prime+Probe; returns the round decisions."""
     info = build_decode_program(b64_text, lvi_mitigated=True)
@@ -180,6 +181,7 @@ def run_sgx_trace(
         scheduler=scheduler,
         seed=seed,
         victim_task=victim,
+        mitigations=mitigations,
     )
     run_to_completion(run, max_ns=60e9)
     decisions: List[Tuple[bool, bool, bool]] = []
@@ -299,9 +301,15 @@ def run_sgx_base64_attack(
     *,
     seed: int = 0,
     scheduler: str = "cfs",
+    mitigations=None,
 ) -> SgxAttackResult:
-    """Full §5.2 protocol: two victim runs of the same key, stitched."""
-    trace1, info = run_sgx_trace(b64_text, seed=seed)
+    """Full §5.2 protocol: two victim runs of the same key, stitched.
+
+    A ``mitigations`` stack (see :mod:`repro.mitigations`) is installed
+    in both victim runs; pass a built stack to read its counters after.
+    """
+    trace1, info = run_sgx_trace(b64_text, seed=seed, scheduler=scheduler,
+                                 mitigations=mitigations)
     truth = info.ground_truth
     single = stitch_runs(trace1.char_segments(), [], len(truth))
     single_cov = coverage(single, truth)
@@ -326,7 +334,8 @@ def run_sgx_base64_attack(
     tail_cross_ns = DEFAULT_TAIL_INSTS / 16 * 65.5
     start_delay = resume_ns + tail_cross_ns + skip_chars * per_char_unattacked_ns
     trace2, _ = run_sgx_trace(
-        b64_text, seed=seed + 7919, post_seek_delay_ns=start_delay
+        b64_text, seed=seed + 7919, post_seek_delay_ns=start_delay,
+        scheduler=scheduler, mitigations=mitigations,
     )
     segments1 = trace1.char_segments()
     segments2 = trace2.char_segments(drop_first_segment=True)

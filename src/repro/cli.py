@@ -47,6 +47,7 @@ Observability (see docs/OBSERVABILITY.md):
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import os
 import statistics
@@ -221,6 +222,42 @@ def _cmd_mitigations(args: argparse.Namespace) -> None:
         print(f"{r.name:<22} preemptions={r.consecutive_preemptions:<6} "
               f"median insts/preempt="
               f"{r.median_instructions_per_preemption:,.0f}")
+
+
+def _axis_list(text: str) -> list:
+    """Comma-separated axis values; a ``{...}`` entry is parsed as a
+    JSON mitigation spec, ``none`` as the undefended baseline."""
+    out = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if entry.startswith("{"):
+            out.append(json.loads(entry))
+        elif entry.lower() in ("none", "off", "baseline"):
+            out.append(None)
+        else:
+            out.append(entry)
+    return out
+
+
+def _cmd_defense_grid(args: argparse.Namespace) -> None:
+    from repro.experiments.defense_grid import format_defense_grid
+    from repro.obs.manifest import result_digest
+
+    result = _run(args, "defense-grid", dict(
+        workloads=tuple(args.workloads),
+        defenses=tuple(args.defenses),
+        schedulers=tuple(args.schedulers),
+        seed=args.seed,
+    ), extra_kwargs=dict(jobs=args.jobs))
+    if args.json:
+        from dataclasses import asdict
+
+        print(json.dumps(asdict(result), indent=2, sort_keys=True))
+    else:
+        print(format_defense_grid(result))
+    print(f"[digest] {result_digest(result)}", file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -912,6 +949,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("mitigations", help="§6 defence ablation")
     p.add_argument("--rounds", type=int, default=400)
     p.set_defaults(func=_cmd_mitigations)
+
+    p = sub.add_parser(
+        "defense-grid",
+        help="defense arena: every attack × every mitigation policy × "
+             "both schedulers (docs/MITIGATIONS.md)",
+    )
+    p.add_argument("--workloads", type=_axis_list,
+                   default=_axis_list("aes,btb,sgx,benign"),
+                   help="comma-separated workloads "
+                        "(aes, btb, sgx, benign)")
+    p.add_argument("--defenses", type=_axis_list,
+                   default=_axis_list("none,leash,schedguard,prefence"),
+                   help="comma-separated defenses: policy names, 'none', "
+                        "or JSON specs like "
+                        "'{\"policy\":\"leash\",\"flag_threshold\":8}'")
+    p.add_argument("--schedulers", type=_axis_list,
+                   default=_axis_list("cfs,eevdf"),
+                   help="comma-separated schedulers (cfs, eevdf)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full grid as JSON instead of the table")
+    p.set_defaults(func=_cmd_defense_grid)
 
     p = sub.add_parser(
         "trace",

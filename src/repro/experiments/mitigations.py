@@ -1,8 +1,7 @@
 """Mitigation evaluation (§6).
 
-Three scheduler/system-level defences are evaluated with the same
-harness the characterization uses, so their effect is directly
-comparable:
+Scheduler/system-level defences are evaluated with the same harness
+the characterization uses, so their effect is directly comparable:
 
 * ``NO_WAKEUP_PREEMPTION`` — the Linux security team's recommendation:
   the waking attacker cannot preempt mid-slice, so consecutive
@@ -13,12 +12,23 @@ comparable:
 * AEX-Notify (Constable et al.) — an SGX-side trusted prefetch handler
   guarantees the enclave makes significant progress per resume,
   destroying single-stepping while leaving coarse preemption intact.
+* the active policies (:mod:`repro.mitigations` — LEASH, SchedGuard,
+  PreFence) under the same single-stepping harness.  LEASH and
+  SchedGuard attack the preemption count directly; PreFence does not
+  (it blunts the prefetch *channel*, not the stepping — the row
+  documents that honestly by matching the baseline).
+
+Every cell is **plain data**: ``features``/``kernel_config`` travel as
+kwargs dicts and ``mitigation`` as a canonical policy spec, so each
+cell has a content-addressed cache key (live dataclass objects would
+sanitize to an opaque ``repr`` and could never be cached or replayed)
+and the ablation dedupes across runs and ``--jobs`` values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.histogram import resolution_stats
 from repro.core.primitive import ControlledPreemption, PreemptionConfig
@@ -26,6 +36,7 @@ from repro.cpu.program import StraightlineProgram
 from repro.experiments.setup import build_env
 from repro.kernel.kernel import KernelConfig
 from repro.kernel.threads import ProgramBody
+from repro.mitigations.policy import canonical_mitigation
 from repro.parallel import starmap_kwargs
 from repro.sched.features import SchedFeatures
 from repro.sched.task import Task, TaskState
@@ -43,16 +54,21 @@ class MitigationResult:
 def _run(
     name: str,
     *,
-    features: Optional[SchedFeatures] = None,
-    kernel_config: Optional[KernelConfig] = None,
+    features: Optional[Dict[str, Any]] = None,
+    kernel_config: Optional[Dict[str, Any]] = None,
+    mitigation: Optional[Dict[str, Any]] = None,
     enclave: bool = False,
     rounds: int = 400,
     tau: float = 740.0,
     seed: int = 0,
     scheduler: str = "cfs",
 ) -> MitigationResult:
-    env = build_env(scheduler, n_cores=1, seed=seed, features=features,
-                    kernel_config=kernel_config)
+    env = build_env(
+        scheduler, n_cores=1, seed=seed,
+        features=SchedFeatures(**features) if features else None,
+        kernel_config=KernelConfig(**kernel_config) if kernel_config else None,
+        mitigations=mitigation,
+    )
     program = StraightlineProgram()
     if enclave:
         victim = make_enclave_task("victim", program)
@@ -84,10 +100,15 @@ def _run(
     return MitigationResult(name, count, median, single)
 
 
+_run.__wire_canonical__ = {  # type: ignore[attr-defined]
+    "mitigation": canonical_mitigation,
+}
+
+
 def evaluate_mitigations(
     *, rounds: int = 400, seed: int = 0, jobs: Optional[int] = None
 ) -> List[MitigationResult]:
-    """Baseline vs the three §6 defences.
+    """Baseline vs the §6 defences and the active policies.
 
     The cells share nothing (each builds its own environment from the
     same seed, exactly as the serial loop always did), so they fan out
@@ -96,21 +117,25 @@ def evaluate_mitigations(
     cells = [
         dict(name="baseline"),
         dict(name="no_wakeup_preemption",
-             features=SchedFeatures.no_wakeup_preemption()),
+             features=dict(wakeup_preemption=False)),
         dict(name="min_slice_1ms",
-             features=SchedFeatures.min_slice_guard(1_000_000.0)),
+             features=dict(wakeup_min_slice_ns=1_000_000.0)),
         # EEVDF's RUN_TO_PARITY feature (real kernels ship it): a wakee
         # cannot preempt until the current task reaches its 0-lag
         # point — a built-in partial defence the CFS lacks.
         dict(name="eevdf_baseline", scheduler="eevdf"),
         dict(name="eevdf_run_to_parity", scheduler="eevdf",
-             features=SchedFeatures(run_to_parity=True)),
+             features=dict(run_to_parity=True)),
+        # Active policies under the identical stepping harness.
+        dict(name="leash", mitigation=canonical_mitigation("leash")),
+        dict(name="schedguard", mitigation=canonical_mitigation("schedguard")),
+        dict(name="prefence", mitigation=canonical_mitigation("prefence")),
         # SGX τ values re-tuned the way an attacker would: AEX +
         # ERESUME inflate the scheduling overhead, and AEX-Notify's
         # warm-up handler inflates it further.
         dict(name="sgx_baseline", enclave=True, tau=2690.0),
         dict(name="sgx_aex_notify", enclave=True, tau=4700.0,
-             kernel_config=KernelConfig(aex_notify_depth=80)),
+             kernel_config=dict(aex_notify_depth=80)),
     ]
     for cell in cells:
         cell.update(rounds=rounds, seed=seed)

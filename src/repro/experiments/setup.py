@@ -97,6 +97,7 @@ def build_env(
     sample_vruntime: bool = False,
     obs: Optional[Observability] = None,
     max_trace_records: Optional[int] = None,
+    mitigations=None,
 ) -> ExperimentEnv:
     """Assemble a fresh machine + kernel for one experiment run.
 
@@ -104,12 +105,23 @@ def build_env(
     environment (the default is :func:`repro.obs.get_obs`, configured by
     the CLI / environment variables).  ``max_trace_records`` bounds the
     KernelTracer streams for long characterization runs.
+
+    ``mitigations`` installs scheduler-side defense policies: a
+    :class:`~repro.mitigations.policy.MitigationStack`, a single policy,
+    a wire spec (``"leash"`` / ``{"policy": ..., **kwargs}``), or a
+    sequence of those.  ``None`` (the default) leaves the kernel's
+    zero-cost path untouched.
     """
     machine = Machine(machine_config or MachineConfig(n_cores=n_cores))
     policy = make_policy(scheduler, params, features)
     rng = RngStreams(seed=seed)
     tracer = KernelTracer(sample_vruntime=sample_vruntime,
                           max_records=max_trace_records)
+    if mitigations is not None:
+        # Local import: the mitigations package re-exports experiment
+        # evaluators, so a top-level import would be circular.
+        from repro.mitigations.policy import build_stack
+        mitigations = build_stack(mitigations)
     kernel = Kernel(
         machine,
         policy,
@@ -118,6 +130,7 @@ def build_env(
         config=kernel_config,
         cost_params=cost_params,
         obs=obs,
+        mitigations=mitigations,
     )
     return ExperimentEnv(
         machine=machine, kernel=kernel, policy=policy, params=policy.params,

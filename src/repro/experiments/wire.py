@@ -24,7 +24,15 @@ Normalization rules (:func:`normalize_params`):
   the ``.0``; bools are never coerced (``True`` is not ``1.0``);
 * unknown parameter names are rejected up front (a typo must fail the
   request, not silently simulate the default and cache it under a key
-  containing the typo).
+  containing the typo);
+* **structured parameters canonicalize through the experiment's own
+  rules**: an experiment function may carry a ``__wire_canonical__``
+  attribute mapping parameter name → canonicalizer.  The canonicalizer
+  runs on the supplied value *and* on the filled default, so every
+  spelling of the same structured value — ``"leash"`` vs
+  ``{"policy": "leash"}`` vs the fully-defaulted kwargs dict, or
+  ``None`` vs ``"none"`` vs ``"baseline"`` — keys identically, and a
+  malformed spec fails the request instead of minting a junk key.
 
 Parameter *values* travel in the manifest's sanitized encoding
 (:func:`repro.obs.manifest._sanitize` — enums as ``{"__enum__": ...}``,
@@ -121,6 +129,7 @@ def normalize_params(fn: Callable[..., Any],
             f"unknown parameter(s) {unknown} for {fn.__module__}:"
             f"{fn.__qualname__}; accepted: {sorted(accepted)}"
         )
+    canonicalizers = getattr(fn, "__wire_canonical__", None) or {}
     normalized: Dict[str, Any] = {}
     for pname, parameter in accepted.items():
         if pname in params:
@@ -128,14 +137,24 @@ def normalize_params(fn: Callable[..., Any],
             if (_wants_float(parameter) and isinstance(value, int)
                     and not isinstance(value, bool)):
                 value = float(value)
-            normalized[pname] = value
         elif parameter.default is not inspect.Parameter.empty:
-            normalized[pname] = parameter.default
+            value = parameter.default
         else:
             raise WireError(
                 f"missing required parameter {pname!r} for "
                 f"{fn.__module__}:{fn.__qualname__}"
             )
+        if pname in canonicalizers:
+            # Canonicalize the default too: an omitted structured param
+            # must key identically to its explicit canonical spelling.
+            try:
+                value = canonicalizers[pname](value)
+            except (ValueError, TypeError, KeyError) as exc:
+                raise WireError(
+                    f"invalid value for parameter {pname!r} of "
+                    f"{fn.__module__}:{fn.__qualname__}: {exc}"
+                ) from exc
+        normalized[pname] = value
     for pname in set(params) - set(accepted):  # **kwargs passthrough
         normalized[pname] = params[pname]
     return normalized

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cpu.machine import Machine
 from repro.kernel import actions as act
@@ -92,6 +92,10 @@ class KernelConfig:
     #: AEX-Notify mitigation (§6): depth of the trusted prefetch
     #: handler's warm-up on every enclave resume.  0 disables it.
     aex_notify_depth: int = 0
+    #: Master switch for installed mitigation policies (LEASH /
+    #: SchedGuard / PreFence stacks passed to ``Kernel(mitigations=…)``).
+    #: False detaches them even when a stack is supplied.
+    enable_mitigations: bool = True
 
 
 @dataclass
@@ -267,6 +271,7 @@ class Kernel:
         config: Optional[KernelConfig] = None,
         cost_params: Optional[CostParams] = None,
         obs: Optional[Observability] = None,
+        mitigations: Optional[Any] = None,
     ):
         self.machine = machine
         self.policy = policy
@@ -275,6 +280,14 @@ class Kernel:
         self.sim = sim or Simulator()
         self.tracer = tracer or KernelTracer()
         self.config = config or KernelConfig()
+        # Mitigation stack (repro.mitigations): duck-typed so the kernel
+        # never imports the mitigations package.  ``self._mit is None``
+        # is the only cost the default path pays.
+        self.mitigations = mitigations
+        self._mit = (mitigations if mitigations is not None
+                     and self.config.enable_mitigations else None)
+        if self._mit is not None:
+            self._mit.on_attach(self)
         self.costs = CostModel(self.rng, cost_params or CostParams())
         self.cpus = [_CpuState(RunQueue(c)) for c in range(machine.n_cores)]
         self.balancer = LoadBalancer([st.rq for st in self.cpus],
@@ -527,9 +540,15 @@ class Kernel:
             while st.tick_next is not None and now >= st.tick_next - _EPS:
                 st.tick_next += self.params.tick
             curr = st.rq.current
-            if curr is not None and self.policy.tick_preempt(st.rq, curr):
-                st.need_resched = True
-                st.resched_reason = "tick"
+            if curr is not None:
+                resched = self.policy.tick_preempt(st.rq, curr)
+                if self._mit is not None:
+                    self._mit.on_tick(st.rq, curr, now)
+                    resched = self._mit.filter_tick_preempt(
+                        st.rq, curr, resched, now)
+                if resched:
+                    st.need_resched = True
+                    st.resched_reason = "tick"
 
         # 5. context switch (delayed past the IRQ window just consumed)
         if st.rq.current is None or st.need_resched:
@@ -672,6 +691,11 @@ class Kernel:
         preempt = False
         if curr is not None:
             preempt = self.policy.wants_wakeup_preempt(st.rq, curr, task)
+            if self._mit is not None:
+                # Mitigations see every attempt (LEASH's perf signal),
+                # and may veto the grant (SchedGuard's blocking slot).
+                preempt = self._mit.filter_wakeup_preempt(
+                    st.rq, curr, task, preempt, self.sim.now)
         self._m_wakeups.inc()
         if curr is not None:
             (self._m_grant if preempt else self._m_deny).inc()
@@ -745,6 +769,8 @@ class Kernel:
             if pending:
                 self._schedule_dispatch(cpu, min(pending))
             return
+        if self._mit is not None:
+            self._mit.on_context_switch(cpu, prev, next_task, now)
         st.rq.remove(next_task)
         st.switching = True
         cost = self.costs.context_switch()

@@ -1,8 +1,8 @@
-"""§6 mitigations, each expressed as a system configuration.
+"""§6 mitigations: configuration knobs *and* active scheduler policies.
 
-The defences are configuration, not new mechanism — which is the
-paper's point: the primitive exploits default scheduler policy, and the
-counter-measures are policy/SGX knobs with real costs:
+Two tiers of defense live here:
+
+**Configuration** (the paper's §6 — policy knobs, not new mechanism):
 
 * :func:`no_wakeup_preemption` — the Linux security team's recommended
   setting; removes Eq 2.2 entirely (responsiveness cost).
@@ -11,12 +11,38 @@ counter-measures are policy/SGX knobs with real costs:
 * :func:`aex_notify` — Constable et al.'s SGX co-design: a trusted
   prefetch handler guarantees enclave forward progress per resume.
 
-:func:`repro.experiments.mitigations.evaluate_mitigations` measures all
-of them with the standard characterization harness.
+**Active policies** (PAPERS.md's scheduler-side defenses, modelled as
+pluggable :class:`~repro.mitigations.policy.MitigationPolicy` hooks —
+see docs/MITIGATIONS.md):
+
+* :class:`~repro.mitigations.leash.LeashPolicy` — windowed
+  perf-signal heuristic flags preemption-storm tasks and throttles
+  them (vruntime penalty, denied preemption, slice cap).
+* :class:`~repro.mitigations.schedguard.SchedGuardPolicy` — per-cgroup
+  blocking slots during which the protected task cannot be preempted.
+* :class:`~repro.mitigations.prefence.PreFencePolicy` — prefetcher
+  disable across context switches, wired to the prefetcher model.
+
+:func:`repro.experiments.mitigations.evaluate_mitigations` measures the
+knobs and policies with the standard characterization harness, and
+:mod:`repro.experiments.defense_grid` runs the full attack × defense ×
+scheduler arena.
 """
 
-from repro.experiments.mitigations import MitigationResult, evaluate_mitigations
 from repro.kernel.kernel import KernelConfig
+from repro.mitigations.leash import LeashPolicy
+from repro.mitigations.policy import (
+    MITIGATION_POLICIES,
+    MitigationPolicy,
+    MitigationStack,
+    build_mitigation,
+    build_stack,
+    canonical_mitigation,
+    mitigation_name,
+    register_policy,
+)
+from repro.mitigations.prefence import PreFencePolicy
+from repro.mitigations.schedguard import SchedGuardPolicy
 from repro.sched.features import SchedFeatures
 
 
@@ -36,10 +62,34 @@ def aex_notify(depth: int = 80) -> KernelConfig:
     return KernelConfig(aex_notify_depth=depth)
 
 
+_LAZY_EXPERIMENT_EXPORTS = ("MitigationResult", "evaluate_mitigations")
+
+
+def __getattr__(name: str):
+    # Lazy: repro.experiments.mitigations imports this package (for the
+    # policy classes), so re-exporting its evaluator eagerly would be a
+    # circular import.  PEP 562 defers it to first attribute access.
+    if name in _LAZY_EXPERIMENT_EXPORTS:
+        from repro.experiments import mitigations as _em
+        return getattr(_em, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "MitigationResult",
     "evaluate_mitigations",
     "no_wakeup_preemption",
     "min_scheduling_interval",
     "aex_notify",
+    "MitigationPolicy",
+    "MitigationStack",
+    "MITIGATION_POLICIES",
+    "LeashPolicy",
+    "SchedGuardPolicy",
+    "PreFencePolicy",
+    "build_mitigation",
+    "build_stack",
+    "canonical_mitigation",
+    "mitigation_name",
+    "register_policy",
 ]

@@ -1,0 +1,311 @@
+"""Pluggable scheduler-side mitigation policies.
+
+The §6 mitigations shipped as *configuration* (feature flags, kernel
+knobs).  The defenses PAPERS.md names — LEASH, SchedGuard, PreFence —
+are *active policies*: they watch the schedule and intervene.  This
+module gives them a common shape:
+
+* :class:`MitigationPolicy` — the hook protocol.  The kernel consults
+  an installed policy at exactly three points:
+
+  - **preemption decision** (:meth:`~MitigationPolicy.filter_wakeup_preempt`
+    / :meth:`~MitigationPolicy.filter_tick_preempt`): after the
+    scheduling policy (Eq 2.2 / tick) has decided, the mitigation may
+    veto or force the preemption;
+  - **context switch** (:meth:`~MitigationPolicy.on_context_switch`):
+    observed as the switch begins, before the next task runs;
+  - **tick** (:meth:`~MitigationPolicy.on_tick`): the periodic
+    scheduler tick, for windowed bookkeeping.
+
+* :class:`MitigationStack` — an ordered composition.  Filters chain
+  (each policy sees the previous decision), observers fan out.
+
+* a registry + :func:`build_stack` / :func:`canonical_mitigation`, so a
+  defense travels the experiment wire as plain JSON
+  (``{"policy": "leash", "window_ns": 1e6, ...}``) and equal spellings
+  canonicalize to one cell-cache key.
+
+Policies are deliberately kernel-agnostic: the kernel only calls the
+hooks when a stack is installed, so the default (no mitigations) path
+is bit-identical to a kernel without this module.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "MitigationPolicy",
+    "MitigationStack",
+    "MITIGATION_POLICIES",
+    "register_policy",
+    "build_mitigation",
+    "build_stack",
+    "canonical_mitigation",
+    "mitigation_name",
+]
+
+
+class MitigationPolicy:
+    """Base class / protocol for scheduler-side defenses.
+
+    Subclasses override the hooks they need; every hook defaults to a
+    no-op that preserves the scheduler's decision.  ``rq``/``curr``/
+    ``wakee`` are live kernel objects (:class:`repro.sched.runqueue.
+    RunQueue`, :class:`repro.sched.task.Task`); ``now`` is simulated
+    nanoseconds.
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = "mitigation"
+
+    def on_attach(self, kernel: Any) -> None:
+        """Called once when the kernel installs the policy."""
+
+    def filter_wakeup_preempt(self, rq: Any, curr: Any, wakee: Any,
+                              decision: bool, now: float) -> bool:
+        """Veto/confirm a wakeup-preemption decision (Eq 2.2 already
+        ran; ``decision`` is the scheduler's verdict)."""
+        return decision
+
+    def filter_tick_preempt(self, rq: Any, curr: Any,
+                            decision: bool, now: float) -> bool:
+        """Veto/force a tick-preemption decision."""
+        return decision
+
+    def on_context_switch(self, cpu: int, prev: Any, nxt: Any,
+                          now: float) -> None:
+        """A context switch to ``nxt`` is beginning on ``cpu``."""
+
+    def on_tick(self, rq: Any, curr: Any, now: float) -> None:
+        """Periodic scheduler tick on ``rq``'s CPU."""
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe counters/state for reporting."""
+        return {}
+
+    def spec(self) -> Dict[str, Any]:
+        """The canonical wire spec that rebuilds this policy."""
+        kwargs = getattr(self, "_canonical_kwargs", {})
+        out: Dict[str, Any] = {"policy": self.name}
+        out.update(kwargs)
+        return out
+
+
+class MitigationStack:
+    """Ordered composition of mitigation policies.
+
+    Decision filters chain in order — each policy receives the decision
+    the previous one produced — and observation hooks fan out to every
+    policy.  An empty stack is not built (:func:`build_stack` returns
+    ``None``) so the kernel's fast path stays a single ``is None``
+    check.
+    """
+
+    __slots__ = ("policies",)
+
+    def __init__(self, policies: Iterable[MitigationPolicy]):
+        self.policies: List[MitigationPolicy] = list(policies)
+
+    def __iter__(self):
+        return iter(self.policies)
+
+    def __len__(self) -> int:
+        return len(self.policies)
+
+    def find(self, name: str) -> Optional[MitigationPolicy]:
+        for policy in self.policies:
+            if policy.name == name:
+                return policy
+        return None
+
+    def on_attach(self, kernel: Any) -> None:
+        for policy in self.policies:
+            policy.on_attach(kernel)
+
+    def filter_wakeup_preempt(self, rq: Any, curr: Any, wakee: Any,
+                              decision: bool, now: float) -> bool:
+        for policy in self.policies:
+            decision = policy.filter_wakeup_preempt(rq, curr, wakee,
+                                                    decision, now)
+        return decision
+
+    def filter_tick_preempt(self, rq: Any, curr: Any,
+                            decision: bool, now: float) -> bool:
+        for policy in self.policies:
+            decision = policy.filter_tick_preempt(rq, curr, decision, now)
+        return decision
+
+    def on_context_switch(self, cpu: int, prev: Any, nxt: Any,
+                          now: float) -> None:
+        for policy in self.policies:
+            policy.on_context_switch(cpu, prev, nxt, now)
+
+    def on_tick(self, rq: Any, curr: Any, now: float) -> None:
+        for policy in self.policies:
+            policy.on_tick(rq, curr, now)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {policy.name: policy.snapshot() for policy in self.policies}
+
+    def specs(self) -> List[Dict[str, Any]]:
+        return [policy.spec() for policy in self.policies]
+
+
+#: Registry of policy names → classes.  Concrete policies register at
+#: import time (see :mod:`repro.mitigations.leash` et al.).
+MITIGATION_POLICIES: Dict[str, type] = {}
+
+
+def register_policy(cls: type) -> type:
+    """Class decorator adding a policy class to the registry."""
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{cls!r} has no registry name")
+    MITIGATION_POLICIES[name] = cls
+    return cls
+
+
+MitigationSpec = Union[None, str, Mapping[str, Any], MitigationPolicy]
+
+
+def _ctor_params(cls: type) -> Dict[str, inspect.Parameter]:
+    params: Dict[str, inspect.Parameter] = {}
+    for pname, parameter in inspect.signature(cls).parameters.items():
+        if parameter.kind in (inspect.Parameter.VAR_KEYWORD,
+                              inspect.Parameter.VAR_POSITIONAL):
+            continue
+        params[pname] = parameter
+    return params
+
+
+def _canonical_kwargs(cls: type,
+                      kwargs: Mapping[str, Any]) -> Dict[str, Any]:
+    """Normalize constructor kwargs against the policy signature.
+
+    Same rules as the wire (:func:`repro.experiments.wire.
+    normalize_params`): defaults are filled in, ints coerce to float
+    where the default is a float, unknown names are rejected.  String
+    collections (tuple defaults like ``protect``) sort and dedupe so
+    ``["b", "a", "a"]`` and ``("a", "b")`` key identically.
+    """
+    params = _ctor_params(cls)
+    unknown = sorted(set(kwargs) - set(params))
+    if unknown:
+        raise ValueError(
+            f"unknown kwarg(s) {unknown} for mitigation policy "
+            f"{cls.name!r}; accepted: {sorted(params)}"
+        )
+    out: Dict[str, Any] = {}
+    for pname, parameter in params.items():
+        default = parameter.default
+        if pname in kwargs:
+            value = kwargs[pname]
+        elif default is not inspect.Parameter.empty:
+            value = default
+        else:
+            raise ValueError(
+                f"missing required kwarg {pname!r} for mitigation "
+                f"policy {cls.name!r}"
+            )
+        if (isinstance(default, float) and isinstance(value, int)
+                and not isinstance(value, bool)):
+            value = float(value)
+        if isinstance(default, tuple) and isinstance(value, (list, tuple)):
+            value = sorted({str(v) for v in value})
+        out[pname] = value
+    return out
+
+
+def _split_spec(spec: MitigationSpec) -> Optional[Dict[str, Any]]:
+    """Reduce any accepted spelling to ``{"policy": name, **kwargs}``
+    with canonical kwargs, or ``None`` for the no-defense spellings."""
+    if spec is None:
+        return None
+    if isinstance(spec, MitigationPolicy):
+        return dict(spec.spec())
+    if isinstance(spec, str):
+        name, kwargs = spec, {}
+    elif isinstance(spec, Mapping):
+        payload = dict(spec)
+        name = payload.pop("policy", None)
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                f"mitigation spec {spec!r} is missing its 'policy' name"
+            )
+        kwargs = payload
+    else:
+        raise TypeError(
+            f"mitigation spec must be None, a name, a dict, or a "
+            f"MitigationPolicy; got {type(spec).__name__}"
+        )
+    if name in ("none", "off", "baseline"):
+        if kwargs:
+            raise ValueError(f"no-defense spec {name!r} takes no kwargs")
+        return None
+    cls = MITIGATION_POLICIES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown mitigation policy {name!r}; "
+            f"known: {sorted(MITIGATION_POLICIES)}"
+        )
+    out: Dict[str, Any] = {"policy": name}
+    out.update(_canonical_kwargs(cls, kwargs))
+    return out
+
+
+def canonical_mitigation(spec: MitigationSpec) -> Optional[Dict[str, Any]]:
+    """The canonical, JSON-safe form of a mitigation spec.
+
+    ``None``/``"none"``/``"off"``/``"baseline"`` → ``None`` (so a
+    defense-off cell can never share a key with any defense-on cell);
+    everything else → ``{"policy": name, **full_kwargs}`` with every
+    constructor default filled in, floats coerced, and string
+    collections sorted — equal spellings dedupe to one cache key.
+    """
+    return _split_spec(spec)
+
+
+def build_mitigation(spec: MitigationSpec) -> Optional[MitigationPolicy]:
+    """Instantiate one policy from any accepted spec spelling."""
+    if isinstance(spec, MitigationPolicy):
+        return spec
+    canonical = _split_spec(spec)
+    if canonical is None:
+        return None
+    payload = dict(canonical)
+    name = payload.pop("policy")
+    cls = MITIGATION_POLICIES[name]
+    return cls(**payload)
+
+
+def build_stack(
+    specs: Union[MitigationSpec, "MitigationStack",
+                 Sequence[MitigationSpec]],
+) -> Optional[MitigationStack]:
+    """Build a :class:`MitigationStack` (or ``None`` for no defense).
+
+    Accepts ``None``, a single spec in any spelling, an existing stack,
+    or a sequence of specs.  An empty result is ``None`` so the kernel
+    keeps its zero-cost default path.
+    """
+    if specs is None:
+        return None
+    if isinstance(specs, MitigationStack):
+        return specs if len(specs) else None
+    if isinstance(specs, (str, Mapping, MitigationPolicy)):
+        specs = [specs]
+    policies = [p for p in (build_mitigation(s) for s in specs)
+                if p is not None]
+    if not policies:
+        return None
+    return MitigationStack(policies)
+
+
+def mitigation_name(spec: MitigationSpec) -> str:
+    """Short display name for a spec (``"none"`` for no defense)."""
+    canonical = _split_spec(spec)
+    if canonical is None:
+        return "none"
+    return str(canonical["policy"])

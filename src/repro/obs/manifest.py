@@ -46,6 +46,8 @@ EXPERIMENTS: Dict[str, Tuple[str, str]] = {
     "colocation-campaign": ("repro.experiments.colocation",
                             "run_colocation_campaign"),
     "mitigations": ("repro.experiments.mitigations", "evaluate_mitigations"),
+    "defense-grid": ("repro.experiments.defense_grid", "run_defense_grid"),
+    "defense-cell": ("repro.experiments.defense_grid", "run_defense_cell"),
 }
 
 

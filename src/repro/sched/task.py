@@ -81,6 +81,9 @@ class Task:
 
     # Kernel per-task state
     timer_slack: float = 50_000.0  # prctl(PR_SET_TIMERSLACK), ns
+    #: Container/cgroup membership; mitigation policies (SchedGuard,
+    #: PreFence) match on it, falling back to the task name when empty.
+    cgroup: str = ""
 
     # Statistics maintained by the kernel
     preemptions_suffered: int = 0

@@ -378,6 +378,12 @@ class MemoryHierarchy:
         #: address — so the disabled-observability overhead guard holds.
         self.batch_calls = 0
         self.batch_addrs = 0
+        #: Cores whose hardware prefetcher is currently disabled (the
+        #: PreFence mitigation toggles membership at context switches).
+        #: Empty by default, so the demand path never pays for it.
+        self.prefetch_disabled: set = set()
+        self.prefetches_issued = 0
+        self.prefetches_suppressed = 0
         # Hoisted load-to-use latencies (the model is frozen).
         self._l1_hit = latency.l1_hit
         self._l2_hit = latency.l2_hit
@@ -582,7 +588,16 @@ class MemoryHierarchy:
         Prefetches move lines and recency exactly like demand accesses,
         but they are hardware-initiated: they must not count as demand
         hits/misses, or channel-noise accounting would blur the very
-        statistic (§4.3) the attacks read."""
+        statistic (§4.3) the attacks read.
+
+        A core listed in :attr:`prefetch_disabled` issues nothing: the
+        PreFence mitigation (:mod:`repro.mitigations.prefence`) parks
+        cores there across context switches, and the suppressed/issued
+        counters let its oracle prove the fence actually held."""
+        if core in self.prefetch_disabled:
+            self.prefetches_suppressed += 1
+            return
+        self.prefetches_issued += 1
         self.access(core, addr, kind=kind, count_stats=False)
 
     def clflush(self, addr: int) -> None:

@@ -132,6 +132,67 @@ class TestWakeupPreemption:
         assert not sched.wants_wakeup_preempt(rq, curr, wakee)
 
 
+class TestGuardParityOrdering:
+    """Pin the ``wakeup_min_slice_ns`` guard / ``RUN_TO_PARITY``
+    interaction (``eevdf.py`` wakeup path).
+
+    Both are pure *deny* filters, so the decision must be their
+    conjunction: a wakee preempts only when the current task has run
+    its guaranteed minimum slice AND has reached its 0-lag point.
+    Passing one check must never short-circuit around the other —
+    the §6 ablation's ``min_slice_1ms`` and ``eevdf_run_to_parity``
+    rows both depend on this.
+    """
+
+    def _decision(self, rq, features, *, slice_exec, deadline_gap):
+        sched = EevdfScheduler(PARAMS, features)
+        curr = make("c", vruntime=100 * MS, deadline=100 * MS + deadline_gap)
+        curr.slice_exec = slice_exec
+        rq.current = curr
+        # Eligible (behind the average) and earlier-deadline wakee: the
+        # base EEVDF comparison alone would always preempt.
+        wakee = make("w", vruntime=99 * MS, deadline=99 * MS)
+        rq.add(wakee)
+        return sched.wants_wakeup_preempt(rq, curr, wakee)
+
+    def test_base_case_preempts(self, rq):
+        assert self._decision(rq, SchedFeatures(),
+                              slice_exec=0.0, deadline_gap=0.0)
+
+    def test_guard_denies_under_min_slice(self, rq):
+        features = SchedFeatures.min_slice_guard(1 * MS)
+        assert not self._decision(rq, features,
+                                  slice_exec=0.5 * MS, deadline_gap=0.0)
+
+    def test_guard_releases_at_min_slice(self, rq):
+        features = SchedFeatures.min_slice_guard(1 * MS)
+        assert self._decision(rq, features,
+                              slice_exec=1 * MS, deadline_gap=0.0)
+
+    def test_guard_pass_does_not_skip_parity(self, rq):
+        """The regression this class exists for: satisfying the
+        min-slice guard must not bypass RUN_TO_PARITY's protection of a
+        current task still before its 0-lag point."""
+        features = SchedFeatures(run_to_parity=True,
+                                 wakeup_min_slice_ns=1 * MS)
+        assert not self._decision(rq, features,
+                                  slice_exec=2 * MS, deadline_gap=5 * MS)
+
+    def test_parity_pass_does_not_skip_guard(self, rq):
+        """Symmetric direction: a current task at its 0-lag point is
+        still protected until it has run the guaranteed minimum."""
+        features = SchedFeatures(run_to_parity=True,
+                                 wakeup_min_slice_ns=1 * MS)
+        assert not self._decision(rq, features,
+                                  slice_exec=0.5 * MS, deadline_gap=0.0)
+
+    def test_both_satisfied_preempts(self, rq):
+        features = SchedFeatures(run_to_parity=True,
+                                 wakeup_min_slice_ns=1 * MS)
+        assert self._decision(rq, features,
+                              slice_exec=2 * MS, deadline_gap=0.0)
+
+
 class TestSelection:
     def test_picks_earliest_deadline_among_eligible(self, sched, rq):
         a = make("a", vruntime=10 * MS, deadline=40 * MS)
